@@ -1,0 +1,12 @@
+"""Benchmark harness for Figure 1: per-request phase prices on 3090Ti vs A40."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig1_phase_prices
+
+
+def test_fig01_phase_prices(benchmark):
+    result = run_experiment(benchmark, fig1_phase_prices.run, precision=6)
+    # Paper's shape: A40 is the cheaper prefill GPU, 3090Ti the cheaper decode GPU.
+    assert result.extras["cheapest_prefill"] == "A40"
+    assert result.extras["cheapest_decode"] == "3090Ti"

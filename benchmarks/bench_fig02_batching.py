@@ -1,0 +1,12 @@
+"""Benchmark harness for Figure 2: effect of batching on prefill vs decode."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig2_batching
+
+
+def test_fig02_batching(benchmark):
+    result = run_experiment(benchmark, fig2_batching.run)
+    # Prefill throughput plateaus; decode throughput keeps scaling with the batch.
+    assert result.extras["prefill_gain"] < 1.5
+    assert result.extras["decode_gain"] > 3.0

@@ -1,0 +1,22 @@
+"""Benchmark harness for Figure 6: throughput by prefill-to-decode ratio."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig6_ratio_throughput
+
+
+def test_fig06_ratio_throughput(benchmark):
+    result = run_experiment(
+        benchmark,
+        fig6_ratio_throughput.run,
+        kwargs={"cluster_sizes": (8, 12), "trace_duration": 12.0, "saturation_rate": 24.0},
+    )
+    best = result.extras["best_ratio"]
+    for num_gpus in (8, 12):
+        coding_prefill, coding_decode = map(int, best["coding"][num_gpus].split("/"))
+        conv_prefill, conv_decode = map(int, best["conversation"][num_gpus].split("/"))
+        # Coding (prefill-heavy) should never prefer a smaller prefill share than
+        # conversation (decode-heavy) at the same cluster size.
+        coding_share = coding_prefill / (coding_prefill + coding_decode)
+        conv_share = conv_prefill / (conv_prefill + conv_decode)
+        assert coding_share >= conv_share

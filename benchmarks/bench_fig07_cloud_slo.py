@@ -1,0 +1,21 @@
+"""Benchmark harness for Figure 7: ThunderServe vs HexGen SLO attainment on the cloud."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig7_cloud_slo
+
+
+def test_fig07_cloud_slo(benchmark):
+    result = run_experiment(
+        benchmark,
+        fig7_cloud_slo.run,
+        kwargs={
+            "rates": {"coding": (9.0,), "conversation": (6.0,)},
+            "trace_duration": 20.0,
+            "scheduler_steps": 10,
+        },
+    )
+    # ThunderServe should need a latency deadline no larger than HexGen's to reach
+    # 90% E2E attainment (the paper reports 1.4-1.8x lower deadlines).
+    for point, deadlines in result.extras["min_deadline_90"].items():
+        assert deadlines["thunderserve"] <= deadlines["hexgen"] * 1.2, point

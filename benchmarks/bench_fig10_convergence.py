@@ -1,0 +1,24 @@
+"""Benchmark harness for Figure 10: scheduler convergence vs cluster size."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig10_convergence
+
+
+def test_fig10_convergence(benchmark):
+    result = run_experiment(
+        benchmark,
+        fig10_convergence.run,
+        kwargs={"num_steps": 12, "num_neighbors": 5},
+    )
+    times = result.extras["convergence_time_s"]
+    # The search converges within seconds-to-minutes at every cluster size, and
+    # the best-so-far curve is monotone for each size.
+    for size, t in times.items():
+        assert t < 300.0, size
+    series = {}
+    for size, elapsed, best in result.rows:
+        series.setdefault(size, []).append((elapsed, best))
+    for points in series.values():
+        values = [b for _, b in sorted(points)]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))

@@ -1,0 +1,28 @@
+"""Benchmark harness for Figure 12: KV compression and orchestration ablation."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig12_ablation
+
+
+def test_fig12_ablation(benchmark):
+    result = run_experiment(
+        benchmark,
+        fig12_ablation.run,
+        kwargs={"trace_duration": 15.0, "scheduler_steps": 8, "slo_scales": (3.0, 6.0, 12.0)},
+    )
+    totals = {}
+    for workload, configuration, _scale, attainment in result.rows:
+        totals.setdefault((workload, configuration), 0.0)
+        totals[(workload, configuration)] += attainment
+    for workload in {w for w, _ in totals}:
+        full = totals[(workload, "kv_comp+orchestration")]
+        no_comp = totals[(workload, "no_kv_comp+orchestration")]
+        random_dispatch = totals[(workload, "no_kv_comp+random_dispatch")]
+        # The full system should be at least as good as the ablations, and the
+        # orchestration LP should not lose to random dispatch.
+        assert full >= no_comp - 0.15, workload
+        assert no_comp >= random_dispatch - 0.15, workload
+    # KV compression shrinks the share of time spent transferring KV caches.
+    for workload, fractions in result.extras["kv_fraction"].items():
+        assert fractions["kv_comp+orchestration"] <= fractions["no_kv_comp+orchestration"] + 1e-6, workload

@@ -1,0 +1,14 @@
+"""Benchmark harness for Figure 13: cloud vs in-house bandwidth matrices."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig13_bandwidth
+
+
+def test_fig13_bandwidth_matrices(benchmark):
+    result = run_experiment(benchmark, fig13_bandwidth.run)
+    cloud = next(r for r in result.rows if "cloud" in r[0])
+    inhouse = next(r for r in result.rows if "in-house" in r[0])
+    # The cloud matrix is strongly heterogeneous; the in-house matrix is uniform.
+    assert cloud[4] > 5.0
+    assert inhouse[4] == 1.0

@@ -1,0 +1,25 @@
+"""Benchmark harness for Figure 14: SLO attainment by prefill-to-decode ratio."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig14_ratio_slo
+
+
+def test_fig14_ratio_slo(benchmark):
+    result = run_experiment(
+        benchmark,
+        fig14_ratio_slo.run,
+        kwargs={
+            "ratios": ((5, 3), (4, 4), (3, 5)),
+            "trace_duration": 12.0,
+            "slo_scales": (1.0, 2.0, 3.0, 5.0),
+        },
+    )
+    # Attainment is monotone in the SLO scale for every (workload, ratio) series.
+    series = {}
+    for workload, ratio, scale, attainment in result.rows:
+        series.setdefault((workload, ratio), []).append((scale, attainment))
+    for points in series.values():
+        points.sort()
+        values = [a for _, a in points]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))

@@ -1,0 +1,20 @@
+"""Benchmark harness for Figure 19: estimator / alpha-beta model accuracy."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig19_simulator_accuracy
+
+
+def test_fig19_simulator_accuracy(benchmark):
+    result = run_experiment(
+        benchmark,
+        fig19_simulator_accuracy.run,
+        kwargs={"trace_duration": 15.0, "scheduler_steps": 8},
+    )
+    # The analytic estimator should track the discrete-event simulator within a
+    # moderate margin (the paper's simulator matches real execution closely; our
+    # estimator omits transient queueing, so allow a wider band), and the
+    # alpha-beta KV model should be within ~1/3 of the simulated transfer times
+    # (the simulated mean mixes requests routed over different replica pairs).
+    assert result.extras["attainment_gap"] < 0.35
+    assert result.extras["kv_latency_rel_error"] < 0.35

@@ -1,0 +1,20 @@
+"""Benchmark harness for Table 1: GPU specifications and pricing."""
+
+from conftest import run_experiment
+
+from repro.experiments import table1_gpus
+
+
+def test_table1_gpu_catalog(benchmark):
+    result = run_experiment(benchmark, table1_gpus.run)
+    assert len(result.rows) == 5
+
+
+def test_table1_phase_affinity_per_dollar(benchmark):
+    """A40 tops FLOPS/$ (prefill affinity); 3090Ti tops GB/s/$ (decode affinity)."""
+    result = run_experiment(benchmark, table1_gpus.run)
+    by_gpu = {row[0]: row for row in result.rows}
+    flops_per_dollar = {gpu: row[5] for gpu, row in by_gpu.items()}
+    bandwidth_per_dollar = {gpu: row[6] for gpu, row in by_gpu.items()}
+    assert max(flops_per_dollar, key=flops_per_dollar.get) == "A40"
+    assert max(bandwidth_per_dollar, key=bandwidth_per_dollar.get) == "3090Ti"

@@ -1,0 +1,26 @@
+"""Benchmark harness for Tables 2 / 6 / 7: KV transport quantization quality."""
+
+from conftest import run_experiment
+
+from repro.experiments import table2_kv_quality
+
+
+def test_table2_kv_transport_quality(benchmark):
+    result = run_experiment(
+        benchmark,
+        table2_kv_quality.run,
+        kwargs={"num_prompts": 6, "prompt_length": 48, "generate_tokens": 24},
+    )
+    for row in result.rows:
+        _model, bits, agreement, _drop, ppl_ratio, rouge1, _r2, _rl = row
+        assert 0.0 <= agreement <= 1.0
+        if bits == 8:
+            # 8-bit transport should be essentially lossless on the proxy model.
+            assert agreement > 0.95
+            assert abs(ppl_ratio - 1.0) < 0.05
+        if bits == 4:
+            # Paper: < 2% accuracy drop; the untrained proxy is noisier, so we
+            # assert the same qualitative conclusion with a looser margin.
+            assert agreement > 0.75
+            assert abs(ppl_ratio - 1.0) < 0.15
+            assert rouge1 > 0.5

@@ -1,0 +1,25 @@
+"""Benchmark harness for Table 3: deployment plans discovered by the scheduler."""
+
+from conftest import run_experiment
+
+from repro.experiments import table3_deployment
+
+
+def test_table3_deployment_plans(benchmark):
+    result = run_experiment(
+        benchmark,
+        table3_deployment.run,
+        kwargs={"scheduler_steps": 15},
+    )
+    ratios = result.extras["ratios"]
+    coding_prefill, coding_decode = ratios["coding"]
+    conv_prefill, conv_decode = ratios["conversation"]
+    # Coding dedicates at least as large a replica share to prefill as conversation.
+    assert coding_prefill / (coding_prefill + coding_decode) >= conv_prefill / (
+        conv_prefill + conv_decode
+    )
+    # A40 capacity should lean towards prefill: across both workloads, at least as
+    # many A40s serve prefill as decode (the paper's qualitative finding).
+    a40_prefill = sum(result.extras["prefill_gpu_types"][w].get("A40", 0) for w in ratios)
+    a40_decode = sum(result.extras["decode_gpu_types"][w].get("A40", 0) for w in ratios)
+    assert a40_prefill >= a40_decode

@@ -1,0 +1,16 @@
+"""Benchmark harness for Table 4: full vs lightweight rescheduling overhead."""
+
+from conftest import run_experiment
+
+from repro.experiments import table4_overhead
+
+
+def test_table4_rescheduling_overhead(benchmark):
+    result = run_experiment(benchmark, table4_overhead.run, kwargs={"scheduler_steps": 12})
+    rows = {row[0]: row for row in result.rows}
+    full_total = rows["full"][3]
+    light_total = rows["lightweight"][3]
+    # Lightweight rescheduling reloads nothing and must be much cheaper overall
+    # (paper: 157s vs 13s, a ~12x gap; we require a clear multiple).
+    assert rows["lightweight"][2] == 0.0
+    assert full_total > 3 * light_total

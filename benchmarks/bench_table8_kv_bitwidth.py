@@ -1,0 +1,24 @@
+"""Benchmark harness for Table 8 / Figure 18: 16-bit vs 4-bit KV transport."""
+
+from conftest import run_experiment
+
+from repro.experiments import table8_kv_bitwidth
+
+
+def test_table8_kv_bitwidth(benchmark):
+    result = run_experiment(
+        benchmark,
+        table8_kv_bitwidth.run,
+        kwargs={"trace_duration": 15.0, "scheduler_steps": 10},
+    )
+    table_rows = {row[1]: row for row in result.rows if row[0] == "table8"}
+    # 4-bit transport spends less time in KV communication and does not reduce throughput.
+    assert table_rows["4-bit"][4] <= table_rows["16-bit"][4]
+    assert table_rows["4-bit"][7] >= table_rows["16-bit"][7] * 0.95
+    # Figure 18: at every batched token size, KV time shrinks monotonically with bits.
+    fig_rows = [row for row in result.rows if row[0] == "fig18"]
+    by_tokens = {}
+    for row in fig_rows:
+        by_tokens.setdefault(row[2], {})[row[1]] = row[4]
+    for tokens, per_bits in by_tokens.items():
+        assert per_bits["4-bit"] < per_bits["8-bit"] < per_bits["16-bit"], tokens

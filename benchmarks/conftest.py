@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper by invoking the
+corresponding ``repro.experiments`` module once (``rounds=1`` — these are
+experiment harnesses, not micro-benchmarks) and prints the resulting rows, so a
+``pytest benchmarks/ --benchmark-only -s`` run reproduces the paper's numbers on
+this substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+
+def run_experiment(
+    benchmark,
+    run_fn: Callable[..., Any],
+    kwargs: Optional[Dict[str, Any]] = None,
+    precision: int = 3,
+):
+    """Run one experiment under pytest-benchmark and print its table."""
+    result = benchmark.pedantic(run_fn, kwargs=kwargs or {}, rounds=1, iterations=1)
+    table = result.to_table(precision=precision)
+    print("\n" + table)
+    benchmark.extra_info["experiment"] = result.name
+    benchmark.extra_info["num_rows"] = len(result.rows)
+    return result

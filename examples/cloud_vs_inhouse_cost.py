@@ -1,0 +1,71 @@
+"""Cost-efficiency: heterogeneous cloud GPUs vs an in-house 8xA100 at equal budget.
+
+The paper's headline economic claim (Figures 8 and 9): renting many cheaper,
+heterogeneous cloud GPUs and scheduling them with ThunderServe delivers better
+serving throughput and latency deadlines than spending the same hourly budget on a
+homogeneous in-house A100 server running vLLM or DistServe.
+
+This example serves the same conversation trace with all four systems and prints
+throughput, mean latency and the minimum SLO scale needed for 90 % attainment.
+
+Run with:  python examples/cloud_vs_inhouse_cost.py
+"""
+
+from repro.baselines.distserve import DistServeBaseline
+from repro.baselines.hexgen import HexGenBaseline
+from repro.baselines.vllm import VLLMBaseline
+from repro.core.types import SLOType
+from repro.costmodel.reference import a100_reference_latency
+from repro.hardware.cluster import make_cloud_cluster, make_inhouse_cluster
+from repro.model.architecture import get_model_config
+from repro.scheduling.scheduler import Scheduler, SchedulerConfig
+from repro.scheduling.tabu import TabuSearchConfig
+from repro.simulation.engine import ServingSimulator
+from repro.utils.tables import format_table
+from repro.workload.generator import generate_requests
+from repro.workload.spec import CONVERSATION_WORKLOAD
+
+
+def main() -> None:
+    model = get_model_config("llama-30b")
+    workload = CONVERSATION_WORKLOAD
+    rate = 9.0
+    duration = 40.0
+
+    cloud = make_cloud_cluster(seed=0)
+    inhouse = make_inhouse_cluster()
+    print(f"Cloud    : {cloud.describe()}  -> ${cloud.price_per_hour:.2f}/hour")
+    print(f"In-house : {inhouse.describe()} -> ${inhouse.price_per_hour:.2f}/hour")
+
+    trace = generate_requests(workload, rate, duration=duration, seed=3)
+    reference = a100_reference_latency(model, workload)
+
+    # ThunderServe on the cloud.
+    scheduler = Scheduler(SchedulerConfig(tabu=TabuSearchConfig(num_steps=15, num_neighbors=6, patience=8), seed=0))
+    plan = scheduler.schedule(cloud, model, workload, rate).plan
+    results = {"thunderserve (cloud)": ServingSimulator(cloud, plan, model).run(trace)}
+
+    # Baselines.
+    results["hexgen (cloud)"] = HexGenBaseline(cloud, model, workload, rate).serve(trace)
+    results["distserve (in-house)"] = DistServeBaseline(inhouse, model, workload, rate).serve(trace)
+    results["vllm (in-house)"] = VLLMBaseline(inhouse, model, workload, rate).serve(trace)
+
+    rows = []
+    for name, result in results.items():
+        rows.append([
+            name,
+            result.total_token_throughput,
+            result.output_token_throughput,
+            result.mean(SLOType.E2E),
+            result.min_scale_for_attainment(0.9, reference),
+        ])
+    print("\n" + format_table(
+        ["system", "total tokens/s", "generated tokens/s", "mean E2E latency (s)",
+         "min SLO scale for 90% attainment"],
+        rows,
+        title=f"Equal-budget comparison ({workload.name}, {rate} req/s)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Reacting to GPU failures: lightweight vs full rescheduling (Figure 11 / Table 4).
+
+Cloud GPUs disappear without notice.  ThunderServe's lightweight rescheduler only
+flips phase designations and re-solves the request orchestration — it never moves
+or reloads model parameters — so the service recovers in seconds instead of
+minutes.  This example knocks out one 4xA6000 instance mid-deployment and compares
+serving quality and interruption cost for the three strategies the paper evaluates.
+
+Run with:  python examples/failure_and_rescheduling.py
+"""
+
+import time
+
+from repro.core.types import SLOType
+from repro.hardware.cluster import make_cloud_cluster
+from repro.model.architecture import get_model_config
+from repro.scheduling.rescheduling import ReschedulingOverheadModel
+from repro.scheduling.scheduler import SchedulerConfig
+from repro.scheduling.tabu import TabuSearchConfig
+from repro.serving.system import ThunderServe
+from repro.utils.tables import format_table
+from repro.workload.generator import generate_requests
+from repro.workload.spec import CONVERSATION_WORKLOAD
+
+
+def main() -> None:
+    cluster = make_cloud_cluster(seed=0)
+    model = get_model_config("llama-30b")
+    workload = CONVERSATION_WORKLOAD
+    rate = 6.0
+    trace = generate_requests(workload, rate, duration=40.0, seed=7)
+
+    def build_system():
+        system = ThunderServe(
+            cluster, model, workload, rate,
+            scheduler_config=SchedulerConfig(
+                tabu=TabuSearchConfig(num_steps=12, num_neighbors=5, patience=8), seed=1
+            ),
+        )
+        system.deploy()
+        return system
+
+    baseline_system = build_system()
+    before = baseline_system.serve(trace)
+    victims = [g.gpu_id for g in cluster.gpus if g.type_name == "A6000"][:4]
+    print(f"Failing GPUs {victims} (one 4xA6000 instance)\n")
+
+    rows = []
+    spec = baseline_system.reference.slo_spec(6.0)
+    rows.append(["before failure", "-", before.slo_attainment(spec, SLOType.E2E),
+                 before.output_token_throughput, 0.0])
+
+    overhead_model = ReschedulingOverheadModel()
+    for mode in ("lightweight", "full", "none"):
+        system = build_system()
+        start = time.perf_counter()
+        system.handle_gpu_failure(victims, mode=mode)
+        search_time = time.perf_counter() - start
+        if mode == "full":
+            interruption = search_time + overhead_model.reload_seconds(model, system.plan.num_replicas)
+        elif mode == "lightweight":
+            interruption = search_time
+        else:
+            interruption = 0.0
+        after = system.serve(trace)
+        rows.append([
+            f"after failure ({mode})",
+            f"{system.plan.prefill_decode_ratio[0]}/{system.plan.prefill_decode_ratio[1]}",
+            after.slo_attainment(spec, SLOType.E2E),
+            after.output_token_throughput,
+            interruption,
+        ])
+
+    print(format_table(
+        ["scenario", "prefill/decode", "E2E attainment @ scale 6", "generated tokens/s",
+         "service interruption (s)"],
+        rows,
+        title="GPU failure handling (4 of 32 GPUs offline)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

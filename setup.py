@@ -1,0 +1,22 @@
+"""Setuptools entry point.
+
+The offline environment ships setuptools but not the ``wheel`` package, so PEP 660
+editable installs (which build a wheel) are unavailable; this classic ``setup.py``
+lets ``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of ThunderServe: High-performance and Cost-efficient LLM "
+        "Serving in Cloud Environments (MLSys 2025)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy", "scipy", "networkx"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

@@ -1,0 +1,26 @@
+"""Baseline serving systems the paper compares against.
+
+All baselines run on the same substrate (cluster model, roofline cost model,
+discrete-event simulators) as ThunderServe, so the comparisons isolate the
+*policy* differences exactly as the paper's evaluation does:
+
+* :mod:`repro.baselines.vllm` — vLLM-like: homogeneous in-house GPUs, co-located
+  prefill/decode with continuous batching, no phase splitting.
+* :mod:`repro.baselines.distserve` — DistServe-like: homogeneous in-house GPUs,
+  phase splitting with fast intra-node (NVLink) KV transfer, goodput-driven
+  prefill:decode split, no KV compression.
+* :mod:`repro.baselines.hexgen` — HexGen-like: heterogeneous cloud GPUs,
+  asymmetric parallelism per replica, co-located phases (no phase splitting).
+"""
+
+from repro.baselines.common import BaselineSystem
+from repro.baselines.vllm import VLLMBaseline
+from repro.baselines.distserve import DistServeBaseline
+from repro.baselines.hexgen import HexGenBaseline
+
+__all__ = [
+    "BaselineSystem",
+    "VLLMBaseline",
+    "DistServeBaseline",
+    "HexGenBaseline",
+]

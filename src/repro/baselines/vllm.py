@@ -1,0 +1,67 @@
+"""vLLM-like baseline: homogeneous co-located serving with continuous batching.
+
+The in-house baseline of the paper runs vLLM on an 8xA100 server: the GPUs are
+split into identical tensor-parallel replicas (two A100s per LLaMA-30B replica),
+every replica serves both phases, requests are load-balanced across replicas and
+each replica runs continuous batching with prefill-priority scheduling — which is
+exactly what :class:`~repro.simulation.colocated.ColocatedSimulator` models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.common import BaselineSystem
+from repro.core.exceptions import SchedulingError
+from repro.core.types import Phase
+from repro.parallelism.config import ReplicaPlan
+from repro.simulation.colocated import ColocatedSimulator
+from repro.simulation.metrics import SimulationResult
+from repro.workload.trace import Trace
+
+
+class VLLMBaseline(BaselineSystem):
+    """Co-located homogeneous serving (vLLM-style)."""
+
+    name = "vllm"
+
+    def __init__(self, *args, gpus_per_replica: Optional[int] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.gpus_per_replica = gpus_per_replica
+        self.replica_plans: List[ReplicaPlan] = []
+        self._simulator: Optional[ColocatedSimulator] = None
+
+    def build(self) -> None:
+        """Split the cluster into identical TP replicas and build their plans."""
+        size = self.gpus_per_replica or self.smallest_feasible_group_size()
+        groups = self._even_gpu_groups(size)
+        if not groups:
+            raise SchedulingError(
+                f"cannot form any replica of {size} GPUs on cluster {self.cluster.name!r}"
+            )
+        # vLLM replicas serve both phases; use the decode-optimal (throughput)
+        # plan, which for homogeneous single-node groups is plain tensor
+        # parallelism.
+        self.replica_plans = [self._plan_for_group(g, Phase.DECODE) for g in groups]
+        self._simulator = ColocatedSimulator(
+            self.cluster,
+            self.replica_plans,
+            self.model,
+            params=self.params,
+            seed=self.seed,
+        )
+
+    @property
+    def num_replicas(self) -> int:
+        """Number of model replicas the baseline deploys."""
+        self.ensure_built()
+        return len(self.replica_plans)
+
+    def serve(self, trace: Trace) -> SimulationResult:
+        """Replay a trace with continuous batching on every replica."""
+        self.ensure_built()
+        assert self._simulator is not None
+        return self._simulator.run(trace, label=self.name)
+
+
+__all__ = ["VLLMBaseline"]

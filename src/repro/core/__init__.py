@@ -1,0 +1,33 @@
+"""Core shared types, exceptions and helpers used across the package."""
+
+from repro.core.types import (
+    Phase,
+    Request,
+    RequestMetrics,
+    SLOSpec,
+    SLOType,
+)
+from repro.core.exceptions import (
+    ReproError,
+    ConfigurationError,
+    InsufficientMemoryError,
+    InvalidPlanError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.core.rng import ensure_rng
+
+__all__ = [
+    "Phase",
+    "Request",
+    "RequestMetrics",
+    "SLOSpec",
+    "SLOType",
+    "ReproError",
+    "ConfigurationError",
+    "InsufficientMemoryError",
+    "InvalidPlanError",
+    "SchedulingError",
+    "SimulationError",
+    "ensure_rng",
+]

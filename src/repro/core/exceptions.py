@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this package derive from :class:`ReproError` so callers can
+catch package-level failures with a single ``except`` clause while still being able
+to distinguish configuration problems from scheduling or simulation failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with invalid or inconsistent parameters."""
+
+
+class InsufficientMemoryError(ReproError):
+    """A serving group cannot hold even a single copy of the model parameters.
+
+    Raised by the parallel-configuration deduction and by the deployment-plan
+    validator; the tabu search also uses it as an early-elimination signal for
+    infeasible neighbours (see §3.2 of the paper).
+    """
+
+
+class InvalidPlanError(ReproError):
+    """A deployment plan violates a structural invariant.
+
+    Examples: a GPU assigned to two serving groups at once, a group with an empty
+    GPU set, a routing matrix whose rows do not sum to one.
+    """
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not produce a feasible deployment plan."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "InsufficientMemoryError",
+    "InvalidPlanError",
+    "SchedulingError",
+    "SimulationError",
+]

@@ -1,0 +1,32 @@
+"""Analytic cost models: roofline latency, alpha-beta communication, prices.
+
+The paper's scheduler never executes the model while searching — it relies on an
+analytic cost model (borrowed from HexGen) for per-phase latency/throughput and on
+the alpha-beta (Hockney) model for KV-cache communication, then validates both
+against real execution (Appendix J).  This subpackage is that cost model; the
+discrete-event simulator consumes it to produce end-to-end metrics.
+"""
+
+from repro.costmodel.alpha_beta import AlphaBetaModel, transfer_seconds
+from repro.costmodel.latency import (
+    CostModelParams,
+    ReplicaCostModel,
+    single_gpu_phase_latency,
+)
+from repro.costmodel.kv_transfer import kv_transfer_seconds, kv_transfer_bytes
+from repro.costmodel.price import phase_price_per_request, phase_price_table
+from repro.costmodel.reference import ReferenceLatency, a100_reference_latency
+
+__all__ = [
+    "AlphaBetaModel",
+    "transfer_seconds",
+    "CostModelParams",
+    "ReplicaCostModel",
+    "single_gpu_phase_latency",
+    "kv_transfer_seconds",
+    "kv_transfer_bytes",
+    "phase_price_per_request",
+    "phase_price_table",
+    "ReferenceLatency",
+    "a100_reference_latency",
+]

@@ -1,0 +1,327 @@
+"""Roofline latency model for prefill and decode phases.
+
+The model follows the structure the paper inherits from HexGen: each pipeline
+stage's execution time is the maximum of its compute time (FLOPs divided by the
+stage's effective FLOPS) and its memory time (bytes moved divided by the stage's
+aggregate memory bandwidth), plus tensor-parallel collective costs within the stage
+and pipeline (activation) communication between consecutive stages.
+
+Two phase-specific regimes emerge directly from the arithmetic intensity:
+
+* **Prefill** processes the whole prompt at once, so the GEMMs are large and the
+  phase is *compute bound* — stages built from high-FLOPS GPUs (A40) are fast, and
+  batching beyond ~1k total tokens yields little benefit (Figure 2, left).
+* **Decode** emits one token per step per sequence, so every step must re-stream
+  the weights and the growing KV cache — the phase is *memory-bandwidth bound*,
+  high-bandwidth GPUs (3090Ti) are fast and batching is essential (Figure 2,
+  right).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.types import Phase
+from repro.costmodel.alpha_beta import AlphaBetaModel
+from repro.hardware.cluster import Cluster
+from repro.hardware.gpu import GPUSpec
+from repro.model.architecture import ModelConfig
+from repro.model.flops import (
+    attention_flops,
+    decode_flops_per_token,
+    decode_memory_bytes_per_token,
+    mlp_flops,
+    prefill_flops,
+    prefill_memory_bytes,
+)
+from repro.model.memory import (
+    kv_cache_bytes_per_token,
+    weight_bytes_per_layer,
+)
+from repro.parallelism.config import ReplicaPlan
+
+
+@dataclass(frozen=True)
+class CostModelParams:
+    """Tunable efficiency constants of the roofline model.
+
+    The defaults are calibrated to give realistic absolute magnitudes (tens of
+    milliseconds of TTFT for LLaMA-7B on a single GPU, tens of milliseconds per
+    decode step for LLaMA-30B across a small group) — but the experiments only rely
+    on *relative* behaviour, which is governed by the GPU specs themselves.
+    """
+
+    #: Peak model FLOPs utilisation reached by large prefill batches.
+    prefill_mfu_max: float = 0.55
+    #: Token count at which prefill utilisation approaches saturation (Figure 2).
+    prefill_saturation_tokens: float = 300.0
+    #: Fraction of peak memory bandwidth achieved by streaming kernels.
+    memory_efficiency: float = 0.85
+    #: Model FLOPs utilisation of the small GEMMs in decode steps.
+    decode_mfu: float = 0.30
+    #: Relative tensor-parallel efficiency loss per extra GPU.
+    tp_overhead: float = 0.03
+    #: Fixed per-layer kernel launch / scheduling overhead (seconds).
+    per_layer_overhead_s: float = 2.0e-5
+    #: Fixed per-stage overhead (seconds) for framework dispatch.
+    per_stage_overhead_s: float = 5.0e-4
+    #: Fraction of device memory reserved for activations / fragmentation.
+    kv_reserve_fraction: float = 0.1
+    #: Hard cap on the decode batch size (continuous-batching slot limit).
+    max_decode_batch: int = 256
+
+    def tp_efficiency(self, tp: int) -> float:
+        """Multiplicative compute-efficiency factor for a TP group of size ``tp``."""
+        if tp < 1:
+            raise ConfigurationError("tp must be >= 1")
+        return 1.0 / (1.0 + self.tp_overhead * (tp - 1))
+
+    def prefill_mfu(self, total_tokens: float) -> float:
+        """Prefill utilisation as a saturating function of the batched token count."""
+        if total_tokens <= 0:
+            return 1e-3
+        return self.prefill_mfu_max * (1.0 - math.exp(-total_tokens / self.prefill_saturation_tokens))
+
+
+DEFAULT_PARAMS = CostModelParams()
+
+
+def single_gpu_phase_latency(
+    spec: GPUSpec,
+    model: ModelConfig,
+    phase: Phase,
+    input_length: int,
+    output_length: int = 1,
+    batch_size: int = 1,
+    params: CostModelParams = DEFAULT_PARAMS,
+) -> float:
+    """Latency of one phase of one batched request on a single GPU (TP=PP=1).
+
+    For prefill this is the time to process ``batch_size`` prompts of
+    ``input_length`` tokens; for decode it is the time to generate
+    ``output_length`` tokens per sequence.  Used by the Figure 1 price analysis and
+    by the A100 reference latencies that anchor SLO scales.
+    """
+    if input_length < 1 or output_length < 1 or batch_size < 1:
+        raise ValueError("input_length, output_length and batch_size must be >= 1")
+    eff_flops = spec.peak_fp16_flops
+    eff_bw = spec.memory_bandwidth_bytes * params.memory_efficiency
+    layer_overhead = model.num_layers * params.per_layer_overhead_s + params.per_stage_overhead_s
+    if phase is Phase.PREFILL:
+        total_tokens = input_length * batch_size
+        flops = prefill_flops(model, input_length) * batch_size
+        compute_t = flops / (eff_flops * params.prefill_mfu(total_tokens))
+        mem_t = prefill_memory_bytes(model, input_length, batch_size) / eff_bw
+        return max(compute_t, mem_t) + layer_overhead
+    # Decode: one step per generated token; use the mid-generation context length.
+    context = input_length + output_length / 2.0
+    flops = decode_flops_per_token(model, int(context)) * batch_size
+    compute_t = flops / (eff_flops * params.decode_mfu)
+    mem_t = decode_memory_bytes_per_token(model, int(context), batch_size) / eff_bw
+    step_t = max(compute_t, mem_t) + layer_overhead
+    return step_t * output_length
+
+
+@dataclass
+class _StageView:
+    """Cached per-stage quantities used by the replica cost model."""
+
+    gpu_ids: tuple
+    num_layers: int
+    tp: int
+    sum_flops: float
+    sum_bandwidth: float
+    intra_bandwidth_bytes: float
+    intra_latency_s: float
+    total_memory_bytes: float
+
+
+class ReplicaCostModel:
+    """Analytic latency / throughput model of one model replica.
+
+    Parameters
+    ----------
+    cluster:
+        Cluster providing GPU specs and the network model.
+    plan:
+        Concrete :class:`ReplicaPlan` (stage GPU groups + layer split).
+    model:
+        Model architecture being served.
+    params:
+        Efficiency constants.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        plan: ReplicaPlan,
+        model: ModelConfig,
+        params: CostModelParams = DEFAULT_PARAMS,
+    ) -> None:
+        if plan.total_layers != model.num_layers:
+            raise ConfigurationError(
+                f"plan hosts {plan.total_layers} layers but the model has {model.num_layers}"
+            )
+        self.cluster = cluster
+        self.plan = plan
+        self.model = model
+        self.params = params
+        self._stages: List[_StageView] = []
+        network = cluster.network
+        for stage in plan.stages:
+            gpus = [cluster.gpu(g) for g in stage.gpu_ids]
+            intra_bw = network.min_bandwidth_within(stage.gpu_ids)
+            if math.isinf(intra_bw):
+                intra_bw_bytes = 1e15
+                intra_lat = 0.0
+            else:
+                intra_bw_bytes = intra_bw * 1e9
+                intra_lat = max(network.latency_s(i, j) for i in stage.gpu_ids for j in stage.gpu_ids)
+            self._stages.append(
+                _StageView(
+                    gpu_ids=tuple(stage.gpu_ids),
+                    num_layers=stage.num_layers,
+                    tp=stage.tp,
+                    sum_flops=sum(g.spec.peak_fp16_flops for g in gpus),
+                    sum_bandwidth=sum(g.spec.memory_bandwidth_bytes for g in gpus),
+                    intra_bandwidth_bytes=intra_bw_bytes,
+                    intra_latency_s=intra_lat,
+                    total_memory_bytes=sum(g.spec.memory_bytes for g in gpus),
+                )
+            )
+
+    # ------------------------------------------------------------------ helpers
+    def _stage_link(self, a: _StageView, b: _StageView) -> AlphaBetaModel:
+        network = self.cluster.network
+        bw = network.mean_bandwidth_between(a.gpu_ids, b.gpu_ids) * 1e9
+        lat = max(
+            network.latency_s(i, j) for i in a.gpu_ids for j in b.gpu_ids
+        )
+        return AlphaBetaModel(alpha_s=lat, beta_bytes_per_s=bw)
+
+    def _tp_comm_time(self, stage: _StageView, tokens: int, batch_size: int) -> float:
+        """Tensor-parallel all-reduce time across one stage for a forward pass."""
+        if stage.tp <= 1:
+            return 0.0
+        link = AlphaBetaModel(alpha_s=stage.intra_latency_s, beta_bytes_per_s=stage.intra_bandwidth_bytes)
+        activation_bytes = tokens * batch_size * self.model.hidden_size * self.model.dtype_bytes
+        # Two all-reduces per transformer block (after attention and after the MLP).
+        per_layer = 2.0 * link.allreduce_seconds(activation_bytes, stage.tp)
+        return per_layer * stage.num_layers
+
+    def _pp_comm_time(self, tokens: int, batch_size: int) -> float:
+        """Total pipeline activation-transfer time across stage boundaries."""
+        if len(self._stages) <= 1:
+            return 0.0
+        activation_bytes = tokens * batch_size * self.model.hidden_size * self.model.dtype_bytes
+        total = 0.0
+        for a, b in zip(self._stages[:-1], self._stages[1:]):
+            total += self._stage_link(a, b).transfer_seconds(activation_bytes)
+        return total
+
+    # ------------------------------------------------------------------ prefill
+    def prefill_latency(self, input_length: int, batch_size: int = 1) -> float:
+        """Time to run the prefill phase for ``batch_size`` prompts of ``input_length`` tokens."""
+        if input_length < 1 or batch_size < 1:
+            raise ValueError("input_length and batch_size must be >= 1")
+        total_tokens = input_length * batch_size
+        mfu = self.params.prefill_mfu(total_tokens)
+        total = 0.0
+        for stage in self._stages:
+            flops = (
+                mlp_flops(self.model, input_length, stage.num_layers)
+                + attention_flops(self.model, input_length, input_length, stage.num_layers)
+            ) * batch_size
+            compute_t = flops / (stage.sum_flops * self.params.tp_efficiency(stage.tp) * mfu)
+            mem_bytes = prefill_memory_bytes(self.model, input_length, batch_size, stage.num_layers)
+            mem_t = mem_bytes / (stage.sum_bandwidth * self.params.memory_efficiency)
+            overhead = stage.num_layers * self.params.per_layer_overhead_s + self.params.per_stage_overhead_s
+            total += max(compute_t, mem_t) + overhead + self._tp_comm_time(stage, input_length, batch_size)
+        total += self._pp_comm_time(input_length, batch_size)
+        return total
+
+    def prefill_throughput(self, input_length: int, batch_size: int = 1) -> float:
+        """Prefill throughput in prompt tokens per second."""
+        latency = self.prefill_latency(input_length, batch_size)
+        return input_length * batch_size / latency
+
+    # ------------------------------------------------------------------ decode
+    def decode_step_latency(self, batch_size: int, context_length: int) -> float:
+        """Time of one decode step (one token per sequence) for a batch."""
+        if batch_size < 1 or context_length < 1:
+            raise ValueError("batch_size and context_length must be >= 1")
+        total = 0.0
+        for stage in self._stages:
+            flops = decode_flops_per_token(self.model, context_length, stage.num_layers) * batch_size
+            compute_t = flops / (stage.sum_flops * self.params.tp_efficiency(stage.tp) * self.params.decode_mfu)
+            mem_bytes = decode_memory_bytes_per_token(self.model, context_length, batch_size, stage.num_layers)
+            mem_t = mem_bytes / (stage.sum_bandwidth * self.params.memory_efficiency)
+            overhead = stage.num_layers * self.params.per_layer_overhead_s + self.params.per_stage_overhead_s
+            total += max(compute_t, mem_t) + overhead + self._tp_comm_time(stage, 1, batch_size)
+        total += self._pp_comm_time(1, batch_size)
+        return total
+
+    def decode_latency(self, batch_size: int, context_length: int, num_tokens: int) -> float:
+        """Time to generate ``num_tokens`` tokens per sequence for a batch.
+
+        Uses the mid-generation context length, which is accurate to first order
+        because decode step time is affine in the context length.
+        """
+        if num_tokens < 1:
+            raise ValueError("num_tokens must be >= 1")
+        mid_context = context_length + num_tokens // 2
+        return self.decode_step_latency(batch_size, mid_context) * num_tokens
+
+    def max_decode_batch(self, context_length: int) -> int:
+        """Largest decode batch whose KV cache fits in every stage's memory."""
+        if context_length < 1:
+            raise ValueError("context_length must be >= 1")
+        limit = self.params.max_decode_batch
+        for stage in self._stages:
+            weights = weight_bytes_per_layer(self.model) * stage.num_layers
+            usable = stage.total_memory_bytes * (1.0 - self.params.kv_reserve_fraction) - weights
+            if usable <= 0:
+                return 0
+            per_seq = kv_cache_bytes_per_token(self.model, num_layers=stage.num_layers) * context_length
+            limit = min(limit, int(usable // per_seq))
+        return max(0, limit)
+
+    def decode_throughput(self, context_length: int, batch_size: int | None = None) -> float:
+        """Decode throughput in generated tokens per second.
+
+        With no explicit ``batch_size`` the maximum feasible batch is used, which
+        is where a memory-bound decode replica reaches its best throughput.
+        """
+        if batch_size is None:
+            batch_size = self.max_decode_batch(context_length)
+        if batch_size <= 0:
+            return 0.0
+        return batch_size / self.decode_step_latency(batch_size, context_length)
+
+    # ------------------------------------------------------------------ memory
+    def kv_token_capacity(self) -> int:
+        """Total number of KV-cache tokens the replica can hold (bottleneck stage)."""
+        capacity = math.inf
+        for stage in self._stages:
+            weights = weight_bytes_per_layer(self.model) * stage.num_layers
+            usable = stage.total_memory_bytes * (1.0 - self.params.kv_reserve_fraction) - weights
+            if usable <= 0:
+                return 0
+            per_token = kv_cache_bytes_per_token(self.model, num_layers=stage.num_layers)
+            capacity = min(capacity, usable / per_token)
+        return int(capacity)
+
+    def fits_in_memory(self) -> bool:
+        """Whether every stage can hold its layer weights plus the KV reserve."""
+        return self.kv_token_capacity() > 0
+
+
+__all__ = [
+    "CostModelParams",
+    "DEFAULT_PARAMS",
+    "single_gpu_phase_latency",
+    "ReplicaCostModel",
+]

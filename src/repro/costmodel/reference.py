@@ -1,0 +1,72 @@
+"""Reference single-device latencies used to anchor SLO scales.
+
+The paper scales SLO deadlines as multiples of the execution latency measured on
+A100 GPUs ("SLO scale").  This module computes those reference latencies from the
+same roofline model, so SLO scales are self-consistent across the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import Phase, SLOSpec
+from repro.costmodel.latency import CostModelParams, DEFAULT_PARAMS, single_gpu_phase_latency
+from repro.hardware.gpu import get_gpu_spec
+from repro.model.architecture import ModelConfig
+from repro.workload.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class ReferenceLatency:
+    """Reference TTFT and TPOT for a (model, workload) pair on a reference GPU."""
+
+    ttft: float
+    tpot: float
+    mean_output_length: float
+    gpu_name: str = "A100"
+
+    def slo_spec(self, scale: float) -> SLOSpec:
+        """Absolute SLO deadlines at the given SLO scale."""
+        return SLOSpec.from_scale(
+            scale,
+            reference_ttft=self.ttft,
+            reference_tpot=self.tpot,
+            mean_output_length=self.mean_output_length,
+        )
+
+
+def a100_reference_latency(
+    model: ModelConfig,
+    workload: WorkloadSpec,
+    num_reference_gpus: int = 4,
+    params: CostModelParams = DEFAULT_PARAMS,
+    gpu_name: str = "A100",
+) -> ReferenceLatency:
+    """Reference latencies of the workload's mean-shaped request on A100 hardware.
+
+    ``num_reference_gpus`` models the tensor-parallel degree a practitioner would
+    use to serve the model on the reference hardware (the paper's in-house
+    configuration serves LLaMA-30B with 2 GPUs per replica; we default to a mildly
+    generous 4-way split so SLO scales start near 1).  The reference divides the
+    single-GPU roofline latency by the GPU count, which is the idealised linear
+    scaling an SLO anchor should assume.
+    """
+    if num_reference_gpus < 1:
+        raise ValueError("num_reference_gpus must be >= 1")
+    spec = get_gpu_spec(gpu_name)
+    input_len = max(1, int(round(workload.mean_input_length)))
+    output_len = max(1, int(round(workload.mean_output_length)))
+    ttft = single_gpu_phase_latency(
+        spec, model, Phase.PREFILL, input_length=input_len, output_length=1, params=params
+    ) / num_reference_gpus
+    decode_total = single_gpu_phase_latency(
+        spec, model, Phase.DECODE, input_length=input_len, output_length=output_len,
+        batch_size=8, params=params,
+    ) / num_reference_gpus
+    tpot = decode_total / output_len
+    return ReferenceLatency(
+        ttft=ttft, tpot=tpot, mean_output_length=float(output_len), gpu_name=gpu_name
+    )
+
+
+__all__ = ["ReferenceLatency", "a100_reference_latency"]

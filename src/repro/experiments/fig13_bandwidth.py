@@ -1,0 +1,47 @@
+"""Figure 13: inter-connection bandwidth matrices of the cloud and in-house clusters.
+
+The cloud matrix is strongly heterogeneous (PCIe within a node, a spread of
+Ethernet speeds between nodes); the in-house matrix is uniformly fast (NVLink).
+The experiment reports the matrices (as extras) plus summary statistics that make
+the contrast quantitative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, cloud_cluster, inhouse_cluster
+
+
+def _summary(matrix: np.ndarray) -> dict:
+    off_diag = matrix[~np.eye(matrix.shape[0], dtype=bool)]
+    return {
+        "min": float(off_diag.min()),
+        "median": float(np.median(off_diag)),
+        "max": float(off_diag.max()),
+        "heterogeneity": float(off_diag.max() / off_diag.min()),
+    }
+
+
+def run(seed: int = 0) -> ExperimentResult:
+    """Bandwidth-matrix statistics for both environments (matrices in extras)."""
+    cloud = cloud_cluster(seed=seed)
+    inhouse = inhouse_cluster()
+    cloud_matrix = cloud.network.bandwidth_matrix_gbps()
+    inhouse_matrix = inhouse.network.bandwidth_matrix_gbps()
+    cloud_stats = _summary(cloud_matrix)
+    inhouse_stats = _summary(inhouse_matrix)
+    rows = [
+        ["cloud (32 GPUs)", cloud_stats["min"], cloud_stats["median"], cloud_stats["max"], cloud_stats["heterogeneity"]],
+        ["in-house (8xA100)", inhouse_stats["min"], inhouse_stats["median"], inhouse_stats["max"], inhouse_stats["heterogeneity"]],
+    ]
+    return ExperimentResult(
+        name="Figure 13: GPU-to-GPU bandwidth matrices (GB/s)",
+        headers=["environment", "min_GBps", "median_GBps", "max_GBps", "max/min"],
+        rows=rows,
+        notes="full matrices available in extras['cloud_matrix'] / extras['inhouse_matrix']",
+        extras={"cloud_matrix": cloud_matrix, "inhouse_matrix": inhouse_matrix},
+    )
+
+
+__all__ = ["run"]

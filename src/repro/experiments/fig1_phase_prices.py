@@ -1,0 +1,48 @@
+"""Figure 1: per-request prefill and decode prices on 3090Ti vs A40.
+
+The paper's motivating figure: for a request with 512 input and 16 output tokens,
+the compute-dense A40 is the cheaper GPU for the prefill phase while the
+bandwidth-dense 3090Ti is the cheaper GPU for the decode phase.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.types import Phase
+from repro.costmodel.price import phase_price_per_request
+from repro.experiments.common import ExperimentResult, default_model
+
+
+def run(
+    model_name: str = "llama-30b",
+    gpu_names: Sequence[str] = ("3090Ti", "A40"),
+    input_length: int = 512,
+    output_length: int = 16,
+) -> ExperimentResult:
+    """Compute the Figure 1 per-phase prices."""
+    model = default_model(model_name)
+    rows = []
+    for gpu in gpu_names:
+        prefill = phase_price_per_request(
+            gpu, model, Phase.PREFILL, input_length=input_length, output_length=output_length
+        )
+        decode = phase_price_per_request(
+            gpu, model, Phase.DECODE, input_length=input_length, output_length=output_length
+        )
+        rows.append([gpu, prefill, decode])
+    cheapest_prefill = min(rows, key=lambda r: r[1])[0]
+    cheapest_decode = min(rows, key=lambda r: r[2])[0]
+    return ExperimentResult(
+        name="Figure 1: prefill/decode price per request (512 in / 16 out)",
+        headers=["gpu", "prefill_price_$", "decode_price_$"],
+        rows=rows,
+        notes=(
+            f"cheapest prefill GPU: {cheapest_prefill}; cheapest decode GPU: {cheapest_decode} "
+            f"(paper: A40 for prefill, 3090Ti for decode)"
+        ),
+        extras={"cheapest_prefill": cheapest_prefill, "cheapest_decode": cheapest_decode},
+    )
+
+
+__all__ = ["run"]

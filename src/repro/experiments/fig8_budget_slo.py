@@ -1,0 +1,84 @@
+"""Figure 8: cost-efficiency — ThunderServe on the cloud vs DistServe / vLLM in-house.
+
+Given (approximately) the same hourly budget, ThunderServe rents 32 heterogeneous
+cloud GPUs while the baselines run on an 8xA100 in-house server.  All systems
+serve the same traces; the experiment reports SLO attainment over SLO scales plus
+the minimum deadline needed for 90 % attainment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import (
+    DEFAULT_SLO_SCALES,
+    ExperimentResult,
+    cloud_cluster,
+    default_model,
+    default_workloads,
+    inhouse_cluster,
+    quick_scheduler,
+    reference_for,
+)
+from repro.experiments.endtoend import (
+    attainment_rows,
+    make_trace,
+    min_deadline_summary,
+    run_distserve,
+    run_thunderserve,
+    run_vllm,
+)
+from repro.experiments.fig7_cloud_slo import DEFAULT_RATES
+
+
+def run(
+    model_name: str = "llama-30b",
+    rates: Optional[Dict[str, Sequence[float]]] = None,
+    trace_duration: float = 30.0,
+    slo_scales: Sequence[float] = tuple(DEFAULT_SLO_SCALES),
+    seed: int = 0,
+    scheduler_steps: int = 12,
+) -> ExperimentResult:
+    """Attainment curves of ThunderServe (cloud) vs DistServe and vLLM (in-house)."""
+    model = default_model(model_name)
+    cloud = cloud_cluster(seed=seed)
+    inhouse = inhouse_cluster()
+    workloads = default_workloads()
+    rates = rates or DEFAULT_RATES
+
+    rows: List[List] = []
+    deadlines: Dict[str, Dict[str, float]] = {}
+    for workload_name, workload in workloads.items():
+        reference = reference_for(model, workload)
+        for rate in rates.get(workload_name, ()):
+            trace = make_trace(workload, rate, trace_duration, seed + 211)
+            scheduler = quick_scheduler(seed=seed, steps=scheduler_steps)
+            ts_result, _ = run_thunderserve(cloud, model, workload, rate, trace, scheduler, seed=seed)
+            dist_result = run_distserve(inhouse, model, workload, rate, trace, seed=seed)
+            vllm_result = run_vllm(inhouse, model, workload, rate, trace, seed=seed)
+            rows += attainment_rows(ts_result, reference, slo_scales, "thunderserve(cloud)", workload_name, rate)
+            rows += attainment_rows(dist_result, reference, slo_scales, "distserve(in-house)", workload_name, rate)
+            rows += attainment_rows(vllm_result, reference, slo_scales, "vllm(in-house)", workload_name, rate)
+            deadlines[f"{workload_name}@{rate:g}"] = min_deadline_summary(
+                {
+                    "thunderserve(cloud)": ts_result,
+                    "distserve(in-house)": dist_result,
+                    "vllm(in-house)": vllm_result,
+                },
+                reference,
+                target=0.9,
+            )
+
+    budget_note = (
+        f"hourly budget: cloud ${cloud.price_per_hour:.2f} vs in-house ${inhouse.price_per_hour:.2f}"
+    )
+    return ExperimentResult(
+        name="Figure 8: SLO attainment at equal budget (cloud ThunderServe vs in-house DistServe/vLLM)",
+        headers=["workload", "rate", "system", "slo_type", "slo_scale", "attainment"],
+        rows=rows,
+        notes=budget_note + "; extras['min_deadline_90'] holds minimum deadlines",
+        extras={"min_deadline_90": deadlines},
+    )
+
+
+__all__ = ["run"]

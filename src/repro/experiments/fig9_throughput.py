@@ -1,0 +1,82 @@
+"""Figure 9: system throughput comparison (normalised to ThunderServe).
+
+All four systems serve a saturating trace (request rate well above the sustainable
+rate) on their respective environments — ThunderServe and HexGen on the 32-GPU
+cloud, DistServe and vLLM on the 8xA100 in-house server — and the experiment
+reports generated-token throughput, both absolute and normalised by ThunderServe's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import (
+    ExperimentResult,
+    cloud_cluster,
+    default_model,
+    default_workloads,
+    inhouse_cluster,
+    quick_scheduler,
+)
+from repro.experiments.endtoend import (
+    make_trace,
+    run_distserve,
+    run_hexgen,
+    run_thunderserve,
+    run_vllm,
+)
+
+
+def run(
+    model_name: str = "llama-30b",
+    saturation_rates: Optional[Dict[str, float]] = None,
+    trace_duration: float = 25.0,
+    seed: int = 0,
+    scheduler_steps: int = 12,
+    workload_names: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Throughput of ThunderServe, HexGen, DistServe and vLLM under saturation."""
+    model = default_model(model_name)
+    cloud = cloud_cluster(seed=seed)
+    inhouse = inhouse_cluster()
+    workloads = default_workloads()
+    if workload_names is not None:
+        workloads = {k: v for k, v in workloads.items() if k in set(workload_names)}
+    saturation_rates = saturation_rates or {"coding": 24.0, "conversation": 16.0}
+
+    rows: List[List] = []
+    speedups: Dict[str, Dict[str, float]] = {}
+    for workload_name, workload in workloads.items():
+        rate = saturation_rates[workload_name]
+        trace = make_trace(workload, rate, trace_duration, seed + 307)
+        scheduler = quick_scheduler(seed=seed, steps=scheduler_steps)
+        results = {}
+        results["thunderserve"], _ = run_thunderserve(cloud, model, workload, rate, trace, scheduler, seed=seed)
+        results["hexgen"] = run_hexgen(cloud, model, workload, rate, trace, seed=seed)
+        results["distserve"] = run_distserve(inhouse, model, workload, rate, trace, seed=seed)
+        results["vllm"] = run_vllm(inhouse, model, workload, rate, trace, seed=seed)
+        ts_throughput = results["thunderserve"].total_token_throughput
+        speedups[workload_name] = {}
+        for system, result in results.items():
+            throughput = result.total_token_throughput
+            normalised = throughput / ts_throughput if ts_throughput > 0 else float("nan")
+            rows.append(
+                [workload_name, system, throughput, result.output_token_throughput, normalised]
+            )
+            if system != "thunderserve" and throughput > 0:
+                speedups[workload_name][system] = ts_throughput / throughput
+
+    note_parts = []
+    for workload_name, per_system in speedups.items():
+        gains = ", ".join(f"{sys}: x{gain:.2f}" for sys, gain in per_system.items())
+        note_parts.append(f"{workload_name} speedups vs baselines -> {gains}")
+    return ExperimentResult(
+        name="Figure 9: throughput comparison under saturation",
+        headers=["workload", "system", "total_tokens_per_s", "output_tokens_per_s", "normalised_to_TS"],
+        rows=rows,
+        notes="; ".join(note_parts),
+        extras={"speedups": speedups},
+    )
+
+
+__all__ = ["run"]

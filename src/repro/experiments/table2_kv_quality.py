@@ -1,0 +1,84 @@
+"""Tables 2, 6 and 7: model quality under KV-cache transport quantization.
+
+The paper shows that quantizing the KV cache to 4 bits *for transport only*
+(dequantizing before compute) costs < 2 % task accuracy, < 1 % perplexity and
+keeps ROUGE against the 16-bit outputs around 0.95.  Our substitution runs the
+same mechanism end-to-end on two sizes of the deterministic NumPy transformer
+(standing in for LLaMA-7B and LLaMA-13B/30B) and reports the analogous metrics:
+greedy-token agreement (accuracy analogue), pseudo-perplexity ratio and
+ROUGE-1/2/L of the quantized output against the 16-bit output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.experiments.common import ExperimentResult
+from repro.quality.metrics import evaluate_kv_transport_quality
+from repro.quality.tiny_transformer import TinyTransformer, TinyTransformerConfig
+
+
+#: stand-ins for the two model sizes the paper evaluates
+MODEL_PROXIES = {
+    "proxy-small (LLaMA-7B stand-in)": TinyTransformerConfig(
+        vocab_size=128, d_model=64, num_heads=4, num_layers=4, d_ff=128, seed=7
+    ),
+    "proxy-large (LLaMA-13B stand-in)": TinyTransformerConfig(
+        vocab_size=128, d_model=96, num_heads=6, num_layers=6, d_ff=192, seed=11
+    ),
+}
+
+
+def run(
+    bit_widths: Sequence[int] = (8, 4),
+    num_prompts: int = 6,
+    prompt_length: int = 48,
+    generate_tokens: int = 24,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Quality metrics for every (model proxy, transport bit-width) pair."""
+    rows: List[List] = []
+    reports = {}
+    for model_name, config in MODEL_PROXIES.items():
+        model = TinyTransformer(config)
+        for bits in bit_widths:
+            report = evaluate_kv_transport_quality(
+                bits=bits,
+                num_prompts=num_prompts,
+                prompt_length=prompt_length,
+                generate_tokens=generate_tokens,
+                model=model,
+                seed=seed,
+            )
+            reports[(model_name, bits)] = report
+            rows.append(
+                [
+                    model_name,
+                    bits,
+                    report.token_agreement,
+                    report.accuracy_drop,
+                    report.ppl_ratio,
+                    report.rouge1,
+                    report.rouge2,
+                    report.rougeL,
+                ]
+            )
+    return ExperimentResult(
+        name="Tables 2/6/7: KV transport quantization quality (tiny-transformer proxy)",
+        headers=[
+            "model",
+            "bits",
+            "token_agreement",
+            "accuracy_drop",
+            "ppl_ratio",
+            "rouge1",
+            "rouge2",
+            "rougeL",
+        ],
+        rows=rows,
+        notes="paper: accuracy drop < 2%, PPL within 1%, ROUGE ~0.95 at 4-bit transport",
+        extras={"reports": reports},
+    )
+
+
+__all__ = ["run", "MODEL_PROXIES"]

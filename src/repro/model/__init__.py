@@ -1,0 +1,45 @@
+"""Transformer model architecture configurations and analytic accounting.
+
+* :mod:`repro.model.architecture` — named model configurations (LLaMA 7B/13B/30B,
+  OPT variants) with layer count, hidden size, head counts and vocabulary size.
+* :mod:`repro.model.memory` — parameter and KV-cache memory accounting, used by the
+  deployment-plan feasibility checks and the paged KV cache manager.
+* :mod:`repro.model.flops` — per-phase FLOPs accounting feeding the roofline
+  latency model.
+"""
+
+from repro.model.architecture import ModelConfig, MODEL_CATALOG, get_model_config
+from repro.model.memory import (
+    parameter_count,
+    parameter_bytes,
+    kv_cache_bytes_per_token,
+    kv_cache_bytes,
+    max_kv_tokens,
+    weight_bytes_per_layer,
+)
+from repro.model.flops import (
+    prefill_flops,
+    decode_flops_per_token,
+    attention_flops,
+    mlp_flops,
+    prefill_memory_bytes,
+    decode_memory_bytes_per_token,
+)
+
+__all__ = [
+    "ModelConfig",
+    "MODEL_CATALOG",
+    "get_model_config",
+    "parameter_count",
+    "parameter_bytes",
+    "kv_cache_bytes_per_token",
+    "kv_cache_bytes",
+    "max_kv_tokens",
+    "weight_bytes_per_layer",
+    "prefill_flops",
+    "decode_flops_per_token",
+    "attention_flops",
+    "mlp_flops",
+    "prefill_memory_bytes",
+    "decode_memory_bytes_per_token",
+]

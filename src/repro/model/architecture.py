@@ -1,0 +1,126 @@
+"""Named transformer architectures.
+
+The paper serves LLaMA-7B/13B/30B; we also include a handful of other common
+configurations (OPT-13B/30B/66B/175B, LLaMA-65B) so the library is usable beyond
+the exact experiments.  Only architectural shape matters for the cost model —
+weights are never materialised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Shape description of a decoder-only transformer.
+
+    Attributes
+    ----------
+    name:
+        Canonical model name (``"llama-30b"``).
+    num_layers:
+        Number of transformer blocks.
+    hidden_size:
+        Model (embedding) dimension.
+    num_heads:
+        Number of attention heads.
+    num_kv_heads:
+        Number of key/value heads (== ``num_heads`` without grouped-query
+        attention; smaller for GQA models).
+    ffn_size:
+        Feed-forward inner dimension.
+    vocab_size:
+        Vocabulary size (affects embedding / LM-head parameters only).
+    dtype_bytes:
+        Bytes per parameter / activation element (2 for FP16/BF16).
+    """
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    num_heads: int
+    num_kv_heads: int
+    ffn_size: int
+    vocab_size: int = 32000
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_layers < 1:
+            raise ConfigurationError(f"{self.name}: num_layers must be >= 1")
+        if self.hidden_size < 1 or self.ffn_size < 1:
+            raise ConfigurationError(f"{self.name}: hidden/ffn sizes must be >= 1")
+        if self.num_heads < 1 or self.num_kv_heads < 1:
+            raise ConfigurationError(f"{self.name}: head counts must be >= 1")
+        if self.hidden_size % self.num_heads != 0:
+            raise ConfigurationError(
+                f"{self.name}: hidden_size ({self.hidden_size}) must be divisible by "
+                f"num_heads ({self.num_heads})"
+            )
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ConfigurationError(
+                f"{self.name}: num_heads must be a multiple of num_kv_heads"
+            )
+        if self.dtype_bytes not in (1, 2, 4):
+            raise ConfigurationError(f"{self.name}: dtype_bytes must be 1, 2 or 4")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension."""
+        return self.hidden_size // self.num_heads
+
+    @property
+    def kv_hidden_size(self) -> int:
+        """Total key (or value) width per layer: ``num_kv_heads * head_dim``."""
+        return self.num_kv_heads * self.head_dim
+
+
+#: Catalog of ready-made model configurations.
+MODEL_CATALOG: Dict[str, ModelConfig] = {
+    "llama-7b": ModelConfig(
+        name="llama-7b", num_layers=32, hidden_size=4096, num_heads=32,
+        num_kv_heads=32, ffn_size=11008, vocab_size=32000,
+    ),
+    "llama-13b": ModelConfig(
+        name="llama-13b", num_layers=40, hidden_size=5120, num_heads=40,
+        num_kv_heads=40, ffn_size=13824, vocab_size=32000,
+    ),
+    "llama-30b": ModelConfig(
+        name="llama-30b", num_layers=60, hidden_size=6656, num_heads=52,
+        num_kv_heads=52, ffn_size=17920, vocab_size=32000,
+    ),
+    "llama-65b": ModelConfig(
+        name="llama-65b", num_layers=80, hidden_size=8192, num_heads=64,
+        num_kv_heads=64, ffn_size=22016, vocab_size=32000,
+    ),
+    "opt-13b": ModelConfig(
+        name="opt-13b", num_layers=40, hidden_size=5120, num_heads=40,
+        num_kv_heads=40, ffn_size=20480, vocab_size=50272,
+    ),
+    "opt-30b": ModelConfig(
+        name="opt-30b", num_layers=48, hidden_size=7168, num_heads=56,
+        num_kv_heads=56, ffn_size=28672, vocab_size=50272,
+    ),
+    "opt-66b": ModelConfig(
+        name="opt-66b", num_layers=64, hidden_size=9216, num_heads=72,
+        num_kv_heads=72, ffn_size=36864, vocab_size=50272,
+    ),
+    "opt-175b": ModelConfig(
+        name="opt-175b", num_layers=96, hidden_size=12288, num_heads=96,
+        num_kv_heads=96, ffn_size=49152, vocab_size=50272,
+    ),
+}
+
+
+def get_model_config(name: str) -> ModelConfig:
+    """Look up a model configuration by (case-insensitive) name."""
+    key = name.strip().lower()
+    if key in MODEL_CATALOG:
+        return MODEL_CATALOG[key]
+    raise KeyError(f"Unknown model {name!r}; known models: {sorted(MODEL_CATALOG)}")
+
+
+__all__ = ["ModelConfig", "MODEL_CATALOG", "get_model_config"]

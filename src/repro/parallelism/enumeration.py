@@ -1,0 +1,187 @@
+"""Algorithm 2: deduce the optimal parallel configuration for a serving group.
+
+Given a serving group (a set of GPUs), the designated phase, the model and the
+workload shape, Algorithm 2 of the paper enumerates candidate (TP, PP)
+configurations under cloud-specific heuristics and keeps the best one:
+
+1. *Tensor parallelism only within single-type GPUs* (and, in our substrate,
+   within a single node) — cross-node links are far too slow for per-layer
+   all-reduces.
+2. *Pipeline communication routing* — stages are ordered by the bitmask DP of
+   :mod:`repro.parallelism.routing` to maximise the bottleneck inter-stage
+   bandwidth.
+3. *Non-uniform pipeline layer partitioning* — layers are split in proportion to
+   stage capacity subject to memory limits
+   (:mod:`repro.parallelism.partition`).
+4. *Phase-specific objective* — latency-optimal plans for prefill groups,
+   throughput-optimal plans for decode groups.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import InsufficientMemoryError
+from repro.core.types import Phase
+from repro.costmodel.latency import CostModelParams, DEFAULT_PARAMS, ReplicaCostModel
+from repro.hardware.cluster import Cluster
+from repro.model.architecture import ModelConfig
+from repro.parallelism.config import ReplicaPlan
+from repro.parallelism.partition import group_can_hold_model, partition_layers
+from repro.parallelism.routing import optimal_stage_order
+from repro.workload.spec import WorkloadSpec
+
+
+#: Deepest pipeline the enumeration will consider.  Deeper pipelines only hurt
+#: (every extra stage adds activation hand-offs over slow cloud links) and the
+#: paper's discovered plans never exceed PP=4.
+MAX_PIPELINE_STAGES = 8
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One evaluated parallel-configuration candidate."""
+
+    plan: ReplicaPlan
+    #: prefill latency (seconds) of the workload's mean prompt, batch size 1
+    prefill_latency: float
+    #: decode throughput (tokens/s) at the maximum feasible batch
+    decode_throughput: float
+
+    def objective(self, phase: Phase) -> float:
+        """Scalar objective (always *maximise*): negative latency or raw throughput."""
+        if phase is Phase.PREFILL:
+            return -self.prefill_latency
+        return self.decode_throughput
+
+
+def candidate_stage_groups(
+    cluster: Cluster, gpu_ids: Sequence[int], tp: int
+) -> Optional[List[List[int]]]:
+    """Partition a group into tensor-parallel stages of size ``tp``.
+
+    Stages must be homogeneous in GPU type and contained in a single node when
+    ``tp > 1`` (heuristic 1).  Returns ``None`` when no such partition uses every
+    GPU of the group exactly once.
+    """
+    ids = list(gpu_ids)
+    if tp < 1:
+        raise ValueError("tp must be >= 1")
+    if len(ids) % tp != 0:
+        return None
+    if tp == 1:
+        return [[g] for g in ids]
+    buckets: Dict[Tuple[int, str], List[int]] = defaultdict(list)
+    for g in ids:
+        gpu = cluster.gpu(g)
+        buckets[(gpu.node_id, gpu.type_name)].append(g)
+    stages: List[List[int]] = []
+    for bucket in buckets.values():
+        if len(bucket) % tp != 0:
+            return None
+        bucket = sorted(bucket)
+        for i in range(0, len(bucket), tp):
+            stages.append(bucket[i : i + tp])
+    return stages
+
+
+def _max_tp(cluster: Cluster, gpu_ids: Sequence[int]) -> int:
+    """Largest TP degree allowed by heuristic 1 for this group."""
+    buckets: Dict[Tuple[int, str], int] = defaultdict(int)
+    for g in gpu_ids:
+        gpu = cluster.gpu(g)
+        buckets[(gpu.node_id, gpu.type_name)] += 1
+    return min(buckets.values())
+
+
+def enumerate_parallel_plans(
+    cluster: Cluster,
+    gpu_ids: Sequence[int],
+    phase: Phase,
+    model: ModelConfig,
+    workload: WorkloadSpec,
+    params: CostModelParams = DEFAULT_PARAMS,
+) -> List[PlanCandidate]:
+    """Enumerate and evaluate all feasible (TP, PP) plans for a serving group."""
+    ids = sorted(gpu_ids)
+    if not ids:
+        raise ValueError("gpu_ids must be non-empty")
+    candidates: List[PlanCandidate] = []
+    if not group_can_hold_model(cluster, ids, model, kv_reserve_fraction=params.kv_reserve_fraction):
+        return candidates
+
+    input_length = max(1, int(round(workload.mean_input_length)))
+    output_length = max(1, int(round(workload.mean_output_length)))
+    context_length = input_length + output_length
+
+    n = len(ids)
+    max_tp = min(_max_tp(cluster, ids), n)
+    for tp in range(1, max_tp + 1):
+        if n % tp != 0:
+            continue
+        # Tensor parallelism shards attention heads, so the degree must divide the
+        # head count (the same restriction Megatron-LM imposes).
+        if model.num_heads % tp != 0:
+            continue
+        stages = candidate_stage_groups(cluster, ids, tp)
+        if stages is None:
+            continue
+        pp = len(stages)
+        if pp > model.num_layers or pp > MAX_PIPELINE_STAGES:
+            continue
+        # Route pipeline communication over the best stage order (heuristic 2).
+        order = optimal_stage_order(cluster.network, stages)
+        ordered = [stages[i] for i in order]
+        try:
+            layer_split = partition_layers(
+                cluster, ordered, model, phase, kv_reserve_fraction=params.kv_reserve_fraction
+            )
+        except InsufficientMemoryError:
+            continue
+        plan = ReplicaPlan.from_stage_lists(ordered, layer_split)
+        cost = ReplicaCostModel(cluster, plan, model, params)
+        if not cost.fits_in_memory():
+            continue
+        prefill_latency = cost.prefill_latency(input_length, batch_size=1)
+        decode_throughput = cost.decode_throughput(context_length)
+        candidates.append(
+            PlanCandidate(
+                plan=plan,
+                prefill_latency=prefill_latency,
+                decode_throughput=decode_throughput,
+            )
+        )
+    return candidates
+
+
+def deduce_parallel_plan(
+    cluster: Cluster,
+    gpu_ids: Sequence[int],
+    phase: Phase,
+    model: ModelConfig,
+    workload: WorkloadSpec,
+    params: CostModelParams = DEFAULT_PARAMS,
+) -> ReplicaPlan:
+    """Pick the phase-optimal parallel plan for a serving group (Algorithm 2).
+
+    Prefill groups receive the latency-optimal plan; decode groups receive the
+    throughput-optimal plan.  Raises :class:`InsufficientMemoryError` when the
+    group cannot hold the model under any enumerated configuration.
+    """
+    candidates = enumerate_parallel_plans(cluster, gpu_ids, phase, model, workload, params)
+    if not candidates:
+        raise InsufficientMemoryError(
+            f"group {sorted(gpu_ids)} cannot serve {model.name} under any parallel configuration"
+        )
+    best = max(candidates, key=lambda c: c.objective(phase))
+    return best.plan
+
+
+__all__ = [
+    "PlanCandidate",
+    "candidate_stage_groups",
+    "enumerate_parallel_plans",
+    "deduce_parallel_plan",
+]

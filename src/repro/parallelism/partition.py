@@ -1,0 +1,177 @@
+"""Non-uniform pipeline layer partitioning.
+
+Cloud serving groups can mix GPU types across pipeline stages (e.g. a stage of two
+A5000s feeding a stage of two 3090Tis).  Splitting the transformer layers evenly
+would leave the weaker stage as the pipeline bottleneck or overflow its memory, so
+the paper partitions layers *in proportion to each stage's capacity while never
+exceeding any stage's memory limit* (Appendix B, step 3).  This module implements
+that partitioner.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import InsufficientMemoryError
+from repro.core.types import Phase
+from repro.hardware.cluster import Cluster
+from repro.model.architecture import ModelConfig
+from repro.model.memory import parameter_bytes, weight_bytes_per_layer
+
+
+def stage_weight(cluster: Cluster, gpu_ids: Sequence[int], phase: Phase) -> float:
+    """Capacity weight of a tensor-parallel stage for the given phase.
+
+    Prefill stages are compute bound, so their weight is the summed peak FLOPS of
+    the stage's GPUs; decode stages are memory-bandwidth bound, so their weight is
+    the summed memory bandwidth.  A small geometric blend of the other resource
+    keeps the weights smooth when a stage is unusually unbalanced.
+    """
+    flops = sum(cluster.gpu(g).spec.peak_fp16_flops for g in gpu_ids)
+    bandwidth = sum(cluster.gpu(g).spec.memory_bandwidth_bytes for g in gpu_ids)
+    if phase is Phase.PREFILL:
+        primary, secondary = flops, bandwidth
+    else:
+        primary, secondary = bandwidth, flops
+    return float(primary ** 0.8 * secondary ** 0.2)
+
+
+def stage_max_layers(
+    cluster: Cluster,
+    gpu_ids: Sequence[int],
+    model: ModelConfig,
+    kv_reserve_fraction: float = 0.3,
+) -> int:
+    """Maximum number of layers a stage can host without exhausting its memory.
+
+    The stage must hold its shard of the layer weights plus a KV-cache /
+    activation reserve of ``kv_reserve_fraction`` of the stage memory.  Embedding
+    and LM-head parameters are charged to the first/last stages by the caller via
+    the overall feasibility check; per-layer accounting is sufficient here.
+    """
+    if not 0 <= kv_reserve_fraction < 1:
+        raise ValueError("kv_reserve_fraction must be in [0, 1)")
+    total_memory = sum(cluster.gpu(g).spec.memory_bytes for g in gpu_ids)
+    usable = total_memory * (1.0 - kv_reserve_fraction)
+    per_layer = weight_bytes_per_layer(model)
+    return int(usable // per_layer)
+
+
+def partition_layers(
+    cluster: Cluster,
+    stage_gpu_ids: Sequence[Sequence[int]],
+    model: ModelConfig,
+    phase: Phase,
+    kv_reserve_fraction: float = 0.3,
+) -> List[int]:
+    """Split ``model.num_layers`` layers across stages proportionally to capacity.
+
+    Returns a per-stage layer count summing exactly to the model's layer count,
+    with every stage hosting at least one layer and no stage exceeding its memory
+    capacity.  Raises :class:`InsufficientMemoryError` when no such split exists.
+    """
+    num_stages = len(stage_gpu_ids)
+    if num_stages < 1:
+        raise ValueError("at least one stage is required")
+    num_layers = model.num_layers
+    if num_stages > num_layers:
+        raise InsufficientMemoryError(
+            f"cannot split {num_layers} layers across {num_stages} stages"
+        )
+
+    caps = np.array(
+        [stage_max_layers(cluster, gpus, model, kv_reserve_fraction) for gpus in stage_gpu_ids],
+        dtype=int,
+    )
+    if np.any(caps < 1):
+        raise InsufficientMemoryError("a pipeline stage cannot hold even a single layer")
+    if int(caps.sum()) < num_layers:
+        raise InsufficientMemoryError(
+            f"group cannot hold the model: capacity {int(caps.sum())} layers "
+            f"< required {num_layers} layers"
+        )
+
+    weights = np.array(
+        [stage_weight(cluster, gpus, phase) for gpus in stage_gpu_ids], dtype=float
+    )
+    weights = np.maximum(weights, 1e-12)
+    # Proportional allocation, then round while keeping the exact total using the
+    # largest-remainder method.
+    raw = weights / weights.sum() * num_layers
+    split = np.floor(raw).astype(int)
+    split = np.maximum(split, 1)
+    # Fix the total: add remaining layers to the stages with the largest remainder
+    # (or remove from the smallest-remainder stages if we overshot the minimum of 1).
+    remainder = raw - np.floor(raw)
+    while split.sum() < num_layers:
+        order = np.argsort(-remainder)
+        for idx in order:
+            if split[idx] < caps[idx]:
+                split[idx] += 1
+                break
+        else:  # pragma: no cover - guarded by the capacity pre-check
+            raise InsufficientMemoryError("unable to place all layers within stage capacities")
+        remainder[idx] = -1.0
+        if np.all(remainder < 0):
+            remainder = raw - np.floor(raw)
+    while split.sum() > num_layers:
+        order = np.argsort(remainder)
+        for idx in order:
+            if split[idx] > 1:
+                split[idx] -= 1
+                break
+        else:  # pragma: no cover - cannot happen when num_stages <= num_layers
+            raise InsufficientMemoryError("unable to reduce layer split to the model size")
+
+    # Enforce per-stage memory caps by shifting overflow to stages with slack.
+    split = _enforce_caps(split, caps, num_layers)
+    return [int(x) for x in split]
+
+
+def _enforce_caps(split: np.ndarray, caps: np.ndarray, num_layers: int) -> np.ndarray:
+    """Move layers from over-capacity stages to stages with slack."""
+    split = split.copy()
+    for _ in range(10 * len(split)):
+        over = np.where(split > caps)[0]
+        if len(over) == 0:
+            break
+        src = over[0]
+        slack = np.where(split < caps)[0]
+        slack = [s for s in slack if s != src]
+        if not slack:
+            raise InsufficientMemoryError("no stage has slack to absorb overflow layers")
+        # Prefer the stage with the most remaining capacity.
+        dst = max(slack, key=lambda s: caps[s] - split[s])
+        move = min(split[src] - caps[src], caps[dst] - split[dst])
+        move = max(1, int(move))
+        split[src] -= move
+        split[dst] += move
+    if split.sum() != num_layers or np.any(split > caps) or np.any(split < 1):
+        raise InsufficientMemoryError("failed to find a feasible pipeline layer partition")
+    return split
+
+
+def group_can_hold_model(
+    cluster: Cluster,
+    gpu_ids: Sequence[int],
+    model: ModelConfig,
+    kv_reserve_fraction: float = 0.3,
+) -> bool:
+    """Early feasibility check used by the tabu search (§3.2).
+
+    True when the *total* memory of the group (minus the KV/activation reserve)
+    can hold one full copy of the model parameters.
+    """
+    total_memory = sum(cluster.gpu(g).spec.memory_bytes for g in gpu_ids)
+    usable = total_memory * (1.0 - kv_reserve_fraction)
+    return usable >= parameter_bytes(model)
+
+
+__all__ = [
+    "stage_weight",
+    "stage_max_layers",
+    "partition_layers",
+    "group_can_hold_model",
+]

@@ -1,0 +1,262 @@
+"""A small deterministic NumPy decoder-only transformer with an explicit KV cache.
+
+The transformer exists to exercise the KV-cache transport path end-to-end: run the
+prefill phase, quantize the resulting KV cache with the same codec the serving
+system uses for cross-replica transfers, dequantize it, and continue decoding —
+then compare outputs against the exact (un-quantized) run.  Weights are random but
+fixed by a seed, which is sufficient because transport quantization error is a
+property of the numerics, not of trained weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.rng import ensure_rng
+from repro.kvcache.quantization import dequantize_groupwise, quantize_groupwise
+
+
+@dataclass(frozen=True)
+class TinyTransformerConfig:
+    """Shape of the tiny transformer."""
+
+    vocab_size: int = 128
+    d_model: int = 64
+    num_heads: int = 4
+    num_layers: int = 4
+    d_ff: int = 128
+    max_seq_len: int = 512
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.num_heads != 0:
+            raise ValueError("d_model must be divisible by num_heads")
+        for name in ("vocab_size", "d_model", "num_heads", "num_layers", "d_ff", "max_seq_len"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension."""
+        return self.d_model // self.num_heads
+
+
+#: KV cache type: one (K, V) pair per layer, each of shape (seq, d_model).
+KVCache = List[Tuple[np.ndarray, np.ndarray]]
+
+
+def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    x = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(x)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def _layer_norm(x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return (x - mean) / np.sqrt(var + eps)
+
+
+class TinyTransformer:
+    """Decoder-only transformer with explicit prefill / decode phases."""
+
+    def __init__(self, config: TinyTransformerConfig = TinyTransformerConfig()) -> None:
+        self.config = config
+        rng = ensure_rng(config.seed)
+        c = config
+        scale = 1.0 / np.sqrt(c.d_model)
+
+        def mat(*shape: int) -> np.ndarray:
+            return (rng.standard_normal(shape) * scale).astype(np.float32)
+
+        self.embedding = mat(c.vocab_size, c.d_model)
+        self.pos_embedding = mat(c.max_seq_len, c.d_model)
+        self.layers = []
+        for _ in range(c.num_layers):
+            self.layers.append(
+                {
+                    "wq": mat(c.d_model, c.d_model),
+                    "wk": mat(c.d_model, c.d_model),
+                    "wv": mat(c.d_model, c.d_model),
+                    "wo": mat(c.d_model, c.d_model),
+                    "w1": mat(c.d_model, c.d_ff),
+                    "w2": mat(c.d_ff, c.d_model),
+                }
+            )
+        # The LM head is scaled up so the logit distribution is peaked, mirroring
+        # the low-entropy next-token distributions of trained LLMs; with
+        # near-uniform logits the greedy argmax would flip on numerical noise far
+        # smaller than anything a trained model would care about.
+        self.lm_head = mat(c.d_model, c.vocab_size) * 4.0
+
+    # ------------------------------------------------------------------ forward
+    def _attention(
+        self,
+        layer: dict,
+        x: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        causal_offset: int,
+    ) -> np.ndarray:
+        """Multi-head attention of query positions ``x`` over cached keys/values."""
+        c = self.config
+        q = x @ layer["wq"]
+        seq_q, seq_k = q.shape[0], keys.shape[0]
+        q = q.reshape(seq_q, c.num_heads, c.head_dim).transpose(1, 0, 2)
+        k = keys.reshape(seq_k, c.num_heads, c.head_dim).transpose(1, 0, 2)
+        v = values.reshape(seq_k, c.num_heads, c.head_dim).transpose(1, 0, 2)
+        scores = q @ k.transpose(0, 2, 1) / np.sqrt(c.head_dim)
+        # Causal mask: query position i (absolute index causal_offset + i) may only
+        # attend to key positions <= its absolute index.
+        q_pos = np.arange(seq_q)[:, None] + causal_offset
+        k_pos = np.arange(seq_k)[None, :]
+        mask = k_pos > q_pos
+        scores = np.where(mask[None, :, :], -1e9, scores)
+        attn = _softmax(scores, axis=-1)
+        out = (attn @ v).transpose(1, 0, 2).reshape(seq_q, c.d_model)
+        return out @ layer["wo"]
+
+    def _block(self, layer: dict, x: np.ndarray, keys: np.ndarray, values: np.ndarray, offset: int) -> np.ndarray:
+        attn_out = self._attention(layer, _layer_norm(x), keys, values, offset)
+        x = x + attn_out
+        h = _layer_norm(x) @ layer["w1"]
+        h = np.maximum(h, 0.0)
+        return x + h @ layer["w2"]
+
+    def prefill(self, tokens: np.ndarray) -> Tuple[np.ndarray, KVCache]:
+        """Process a prompt; return logits of the last position and the KV cache."""
+        tokens = np.asarray(tokens, dtype=int)
+        if tokens.ndim != 1 or tokens.size == 0:
+            raise ValueError("tokens must be a non-empty 1-D array")
+        if tokens.size > self.config.max_seq_len:
+            raise ValueError("prompt exceeds max_seq_len")
+        x = self.embedding[tokens] + self.pos_embedding[: tokens.size]
+        cache: KVCache = []
+        for layer in self.layers:
+            normed = _layer_norm(x)
+            keys = normed @ layer["wk"]
+            values = normed @ layer["wv"]
+            cache.append((keys.astype(np.float32), values.astype(np.float32)))
+            x = self._block(layer, x, keys, values, offset=0)
+        logits = _layer_norm(x[-1:]) @ self.lm_head
+        return logits[0], cache
+
+    def decode_step(self, token: int, position: int, cache: KVCache) -> Tuple[np.ndarray, KVCache]:
+        """Generate logits for the next position given one new token and the cache."""
+        if position >= self.config.max_seq_len:
+            raise ValueError("position exceeds max_seq_len")
+        x = (self.embedding[int(token)] + self.pos_embedding[position])[None, :]
+        new_cache: KVCache = []
+        for layer, (keys, values) in zip(self.layers, cache):
+            normed = _layer_norm(x)
+            new_k = normed @ layer["wk"]
+            new_v = normed @ layer["wv"]
+            keys = np.concatenate([keys, new_k], axis=0)
+            values = np.concatenate([values, new_v], axis=0)
+            new_cache.append((keys, values))
+            x = self._block(layer, x, keys, values, offset=position)
+        logits = _layer_norm(x[-1:]) @ self.lm_head
+        return logits[0], new_cache
+
+    # ------------------------------------------------------------------ generation
+    @staticmethod
+    def transport_cache(cache: KVCache, bits: Optional[int], group_size: int = 32) -> KVCache:
+        """Round-trip a KV cache through the transport codec (``bits=None`` = exact)."""
+        if bits is None or bits >= 16:
+            return [(k.copy(), v.copy()) for k, v in cache]
+        out: KVCache = []
+        for keys, values in cache:
+            qk = quantize_groupwise(keys, bits=bits, group_size=group_size)
+            qv = quantize_groupwise(values, bits=bits, group_size=group_size)
+            out.append((dequantize_groupwise(qk), dequantize_groupwise(qv)))
+        return out
+
+    def generate(
+        self,
+        prompt: np.ndarray,
+        num_tokens: int,
+        kv_transport_bits: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Greedy-decode ``num_tokens`` tokens after the prompt.
+
+        ``kv_transport_bits`` simulates the prefill→decode hand-off: the prompt's
+        KV cache is round-tripped through the transport codec before decoding
+        starts (exactly once — subsequent decode steps use full precision, as in
+        ThunderServe).  Returns ``(generated token ids, last-step logits)``.
+        """
+        if num_tokens < 1:
+            raise ValueError("num_tokens must be >= 1")
+        prompt = np.asarray(prompt, dtype=int)
+        logits, cache = self.prefill(prompt)
+        cache = self.transport_cache(cache, kv_transport_bits)
+        generated = []
+        position = prompt.size
+        token = int(np.argmax(logits))
+        generated.append(token)
+        for _ in range(num_tokens - 1):
+            logits, cache = self.decode_step(token, position, cache)
+            token = int(np.argmax(logits))
+            generated.append(token)
+            position += 1
+        return np.asarray(generated, dtype=int), logits
+
+    def teacher_forced_predictions(
+        self,
+        prompt: np.ndarray,
+        continuation: np.ndarray,
+        kv_transport_bits: Optional[int] = None,
+    ) -> np.ndarray:
+        """Greedy predictions at every continuation position under teacher forcing.
+
+        ``predictions[i]`` is the model's argmax choice given the prompt plus
+        ``continuation[:i]`` as context.  Comparing these against the exact run's
+        own choices measures per-step decision robustness without the cascading
+        divergence of free-running generation — the analogue of task accuracy in
+        Table 2.
+        """
+        prompt = np.asarray(prompt, dtype=int)
+        continuation = np.asarray(continuation, dtype=int)
+        logits, cache = self.prefill(prompt)
+        cache = self.transport_cache(cache, kv_transport_bits)
+        predictions = [int(np.argmax(logits))]
+        position = prompt.size
+        for token in continuation[:-1]:
+            logits, cache = self.decode_step(int(token), position, cache)
+            predictions.append(int(np.argmax(logits)))
+            position += 1
+        return np.asarray(predictions[: continuation.size], dtype=int)
+
+    def sequence_logprobs(
+        self,
+        prompt: np.ndarray,
+        continuation: np.ndarray,
+        kv_transport_bits: Optional[int] = None,
+    ) -> np.ndarray:
+        """Log-probabilities the model assigns to a fixed continuation.
+
+        Used for the pseudo-perplexity comparison between exact and
+        transport-quantized KV caches.
+        """
+        prompt = np.asarray(prompt, dtype=int)
+        continuation = np.asarray(continuation, dtype=int)
+        logits, cache = self.prefill(prompt)
+        cache = self.transport_cache(cache, kv_transport_bits)
+        logprobs = []
+        position = prompt.size
+        prev_token = None
+        for target in continuation:
+            if prev_token is not None:
+                logits, cache = self.decode_step(prev_token, position, cache)
+                position += 1
+            # Numerically stable log-softmax.
+            shifted = logits - logits.max()
+            log_softmax = shifted - np.log(np.exp(shifted).sum())
+            logprobs.append(float(log_softmax[int(target)]))
+            prev_token = int(target)
+        return np.asarray(logprobs)
+
+
+__all__ = ["TinyTransformer", "TinyTransformerConfig", "KVCache"]

@@ -1,0 +1,181 @@
+"""Neighbourhood moves of the tabu search (§3.2, Figure 4).
+
+Four moves generate neighbours of an upper-level solution:
+
+* **flip** — flip the phase designation of one group;
+* **split** — split one group into two by a random ratio (phases re-randomised);
+* **merge** — merge two groups into one (phase re-randomised);
+* **move** — move some GPUs of one type from one group to another.
+
+Every generated neighbour passes the early feasibility check of the paper: a group
+whose total memory cannot hold one copy of the model parameters is discarded
+before the (comparatively expensive) lower-level evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.rng import RNGLike, ensure_rng
+from repro.core.types import Phase
+from repro.hardware.cluster import Cluster
+from repro.model.architecture import ModelConfig
+from repro.parallelism.partition import group_can_hold_model
+from repro.scheduling.solution import GroupAssignment, UpperLevelSolution
+
+
+def _random_phase(rng: np.random.Generator) -> Phase:
+    return Phase.PREFILL if rng.random() < 0.5 else Phase.DECODE
+
+
+def _feasible(
+    cluster: Cluster, model: ModelConfig, solution: UpperLevelSolution, kv_reserve_fraction: float
+) -> bool:
+    """Early feasibility check: every group can hold the model, both phases exist."""
+    if solution.num_groups >= 2 and (solution.num_prefill == 0 or solution.num_decode == 0):
+        return False
+    return all(
+        group_can_hold_model(cluster, g.gpu_ids, model, kv_reserve_fraction)
+        for g in solution.groups
+    )
+
+
+# --------------------------------------------------------------------------- moves
+def flip_phase(
+    solution: UpperLevelSolution, rng: RNGLike = None, group_index: Optional[int] = None
+) -> Optional[UpperLevelSolution]:
+    """Flip the phase of one (randomly chosen) group."""
+    gen = ensure_rng(rng)
+    idx = int(gen.integers(0, solution.num_groups)) if group_index is None else group_index
+    group = solution.groups[idx]
+    return solution.replace_group(idx, group.with_phase(group.phase.other()))
+
+
+def split_group(
+    solution: UpperLevelSolution, rng: RNGLike = None
+) -> Optional[UpperLevelSolution]:
+    """Split a randomly chosen group into two along a random ratio."""
+    gen = ensure_rng(rng)
+    splittable = [i for i, g in enumerate(solution.groups) if g.num_gpus >= 2]
+    if not splittable:
+        return None
+    idx = int(gen.choice(splittable))
+    group = solution.groups[idx]
+    gpus = sorted(group.gpu_ids)
+    ratio = float(gen.uniform(0.25, 0.75))
+    cut = int(len(gpus) * ratio)
+    cut = min(max(cut, 1), len(gpus) - 1)
+    first = GroupAssignment(gpu_ids=frozenset(gpus[:cut]), phase=_random_phase(gen))
+    second = GroupAssignment(gpu_ids=frozenset(gpus[cut:]), phase=_random_phase(gen))
+    return solution.replace_group(idx, first, second)
+
+
+def merge_groups(
+    solution: UpperLevelSolution, rng: RNGLike = None
+) -> Optional[UpperLevelSolution]:
+    """Merge two randomly chosen groups into one."""
+    gen = ensure_rng(rng)
+    if solution.num_groups < 2:
+        return None
+    i, j = gen.choice(solution.num_groups, size=2, replace=False)
+    i, j = int(min(i, j)), int(max(i, j))
+    merged = GroupAssignment(
+        gpu_ids=solution.groups[i].gpu_ids | solution.groups[j].gpu_ids,
+        phase=_random_phase(gen),
+    )
+    without_j = solution.replace_group(j)
+    # Group i keeps its index after removing j (j > i).
+    return without_j.replace_group(i, merged)
+
+
+def move_gpus(
+    solution: UpperLevelSolution, cluster: Cluster, rng: RNGLike = None
+) -> Optional[UpperLevelSolution]:
+    """Move one or more GPUs of a single type from one group to another."""
+    gen = ensure_rng(rng)
+    if solution.num_groups < 2:
+        return None
+    donors = [i for i, g in enumerate(solution.groups) if g.num_gpus >= 2]
+    if not donors:
+        return None
+    src_idx = int(gen.choice(donors))
+    dst_idx = int(gen.choice([i for i in range(solution.num_groups) if i != src_idx]))
+    src = solution.groups[src_idx]
+    dst = solution.groups[dst_idx]
+
+    # Pick a GPU type present in the source group and move 1..(count-1) of them.
+    by_type: dict[str, List[int]] = {}
+    for g in src.gpu_ids:
+        by_type.setdefault(cluster.gpu(g).type_name, []).append(g)
+    type_name = str(gen.choice(sorted(by_type)))
+    candidates = sorted(by_type[type_name])
+    max_move = min(len(candidates), src.num_gpus - 1)
+    if max_move < 1:
+        return None
+    count = int(gen.integers(1, max_move + 1))
+    moved = frozenset(candidates[:count])
+
+    new_src = GroupAssignment(gpu_ids=src.gpu_ids - moved, phase=src.phase)
+    new_dst = GroupAssignment(gpu_ids=dst.gpu_ids | moved, phase=dst.phase)
+    groups = list(solution.groups)
+    groups[src_idx] = new_src
+    groups[dst_idx] = new_dst
+    return UpperLevelSolution.from_lists([(g.gpu_ids, g.phase) for g in groups])
+
+
+# --------------------------------------------------------------------------- batch
+def construct_neighbors(
+    solution: UpperLevelSolution,
+    cluster: Cluster,
+    model: ModelConfig,
+    num_neighbors: int,
+    rng: RNGLike = None,
+    kv_reserve_fraction: float = 0.3,
+    moves: Optional[List[str]] = None,
+    max_attempts_factor: int = 8,
+) -> List[UpperLevelSolution]:
+    """Generate up to ``num_neighbors`` feasible, distinct neighbours of a solution.
+
+    ``moves`` restricts the allowed move set; the lightweight rescheduler passes
+    ``["flip"]`` so that only phase designations change (§3.4).
+    """
+    gen = ensure_rng(rng)
+    allowed = moves or ["flip", "split", "merge", "move"]
+    movers: dict[str, Callable[[], Optional[UpperLevelSolution]]] = {
+        "flip": lambda: flip_phase(solution, gen),
+        "split": lambda: split_group(solution, gen),
+        "merge": lambda: merge_groups(solution, gen),
+        "move": lambda: move_gpus(solution, cluster, gen),
+    }
+    unknown = set(allowed) - set(movers)
+    if unknown:
+        raise ValueError(f"unknown neighbourhood moves: {sorted(unknown)}")
+
+    neighbors: List[UpperLevelSolution] = []
+    seen = {solution.key()}
+    attempts = 0
+    max_attempts = max_attempts_factor * num_neighbors
+    while len(neighbors) < num_neighbors and attempts < max_attempts:
+        attempts += 1
+        move = str(gen.choice(allowed))
+        candidate = movers[move]()
+        if candidate is None:
+            continue
+        if candidate.key() in seen:
+            continue
+        if not _feasible(cluster, model, candidate, kv_reserve_fraction):
+            continue
+        seen.add(candidate.key())
+        neighbors.append(candidate)
+    return neighbors
+
+
+__all__ = [
+    "flip_phase",
+    "split_group",
+    "merge_groups",
+    "move_gpus",
+    "construct_neighbors",
+]

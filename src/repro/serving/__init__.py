@@ -1,0 +1,20 @@
+"""The ThunderServe serving runtime.
+
+This package is the control plane of the reproduction: the request coordinator
+(dispatching requests according to the scheduler's routing policy), the heartbeat
+monitor (detecting GPU failures), and the :class:`ThunderServe` facade that ties
+scheduling, serving (simulated execution), workload profiling and lightweight
+rescheduling together — the overall routine described in §4 and Appendix E.
+"""
+
+from repro.serving.coordinator import RequestCoordinator
+from repro.serving.monitor import HeartbeatMonitor, GPUFailure
+from repro.serving.system import ThunderServe, ServeEvent
+
+__all__ = [
+    "RequestCoordinator",
+    "HeartbeatMonitor",
+    "GPUFailure",
+    "ThunderServe",
+    "ServeEvent",
+]

@@ -1,0 +1,126 @@
+"""Request coordinator: dispatches requests across prefill and decode replicas.
+
+The coordinator is the runtime realisation of the orchestration computed by the
+scheduler: it owns the routing policy (``X`` / ``Y``), tracks per-replica
+outstanding work, and picks a (prefill, decode) pair for every incoming request.
+Dispatching follows the routing weights but corrects for imbalance with a
+deficit-counter scheme so that the realised request shares converge to the planned
+shares even for short bursts (plain sampling only matches them in expectation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import InvalidPlanError
+from repro.core.types import Request
+from repro.scheduling.deployment import DeploymentPlan, RoutingPolicy
+
+
+@dataclass
+class DispatchRecord:
+    """Bookkeeping entry for one dispatched request."""
+
+    request_id: int
+    prefill_group_id: int
+    decode_group_id: int
+
+
+class RequestCoordinator:
+    """Deficit-weighted request dispatcher over a deployment plan's routing policy."""
+
+    def __init__(self, plan: DeploymentPlan) -> None:
+        if plan.routing is None:
+            routing = RoutingPolicy.uniform(
+                [g.group_id for g in plan.prefill_groups],
+                [g.group_id for g in plan.decode_groups],
+            )
+        else:
+            routing = plan.routing
+        self.plan = plan
+        self.routing = routing
+        m = len(routing.prefill_group_ids)
+        n = len(routing.decode_group_ids)
+        if m == 0 or n == 0:
+            raise InvalidPlanError("the plan must expose prefill and decode replicas")
+        # Deficit counters: planned share minus realised share, per prefill replica
+        # and per (prefill, decode) pair.
+        self._prefill_deficit = np.zeros(m)
+        self._pair_deficit = np.zeros((m, n))
+        self._dispatched = 0
+        self._records: Dict[int, DispatchRecord] = {}
+        self._outstanding: Dict[int, int] = {gid: 0 for gid in routing.prefill_group_ids}
+
+    # ------------------------------------------------------------------ dispatch
+    def assign(self, request: Request) -> Tuple[int, int]:
+        """Pick the (prefill group id, decode group id) pair for a request."""
+        x = self.routing.x
+        y = self.routing.y
+        # Deficit round-robin: accumulate planned shares, serve the most underserved.
+        self._prefill_deficit += x
+        i = int(np.argmax(self._prefill_deficit))
+        self._prefill_deficit[i] -= 1.0
+
+        self._pair_deficit[i] += y[i]
+        j = int(np.argmax(self._pair_deficit[i]))
+        self._pair_deficit[i, j] -= 1.0
+
+        prefill_id = self.routing.prefill_group_ids[i]
+        decode_id = self.routing.decode_group_ids[j]
+        record = DispatchRecord(
+            request_id=request.request_id,
+            prefill_group_id=prefill_id,
+            decode_group_id=decode_id,
+        )
+        self._records[request.request_id] = record
+        self._outstanding[prefill_id] += 1
+        self._dispatched += 1
+        return prefill_id, decode_id
+
+    def complete(self, request_id: int) -> None:
+        """Mark a request finished (releases its outstanding-work accounting)."""
+        record = self._records.pop(request_id, None)
+        if record is None:
+            raise KeyError(f"unknown request id {request_id}")
+        self._outstanding[record.prefill_group_id] -= 1
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def num_dispatched(self) -> int:
+        """Total number of requests dispatched so far."""
+        return self._dispatched
+
+    def outstanding(self, prefill_group_id: int) -> int:
+        """Outstanding (dispatched, not completed) requests of one prefill replica."""
+        return self._outstanding[prefill_group_id]
+
+    def realised_prefill_shares(self) -> Dict[int, float]:
+        """Realised share of requests per prefill replica (compare against ``X``)."""
+        if self._dispatched == 0:
+            return {gid: 0.0 for gid in self.routing.prefill_group_ids}
+        counts: Dict[int, int] = {gid: 0 for gid in self.routing.prefill_group_ids}
+        for record in self._records.values():
+            counts[record.prefill_group_id] += 1
+        # Records only hold outstanding requests; rebuild totals from deficits instead.
+        planned = {gid: float(x) for gid, x in zip(self.routing.prefill_group_ids, self.routing.x)}
+        realised = {
+            gid: planned[gid] - float(d) / self._dispatched
+            for gid, d in zip(self.routing.prefill_group_ids, self._prefill_deficit)
+        }
+        return realised
+
+    def update_routing(self, routing: RoutingPolicy) -> None:
+        """Install a new routing policy (after a lightweight rescheduling)."""
+        self.routing = routing
+        m = len(routing.prefill_group_ids)
+        n = len(routing.decode_group_ids)
+        self._prefill_deficit = np.zeros(m)
+        self._pair_deficit = np.zeros((m, n))
+        for gid in routing.prefill_group_ids:
+            self._outstanding.setdefault(gid, 0)
+
+
+__all__ = ["RequestCoordinator", "DispatchRecord"]

@@ -1,0 +1,86 @@
+"""Heartbeat monitoring and failure detection.
+
+Cloud GPUs disappear: instances get pre-empted, nodes crash, networks partition.
+ThunderServe's scheduler reacts to a "GPU heartbeat timeout" by triggering the
+lightweight rescheduling path.  This module provides the heartbeat bookkeeping the
+runtime uses to decide that GPUs are gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class GPUFailure:
+    """A detected GPU failure event."""
+
+    gpu_ids: frozenset
+    detected_at: float
+
+    def describe(self) -> str:
+        """Human-readable summary."""
+        return f"{len(self.gpu_ids)} GPU(s) failed at t={self.detected_at:.1f}s: {sorted(self.gpu_ids)}"
+
+
+class HeartbeatMonitor:
+    """Tracks per-GPU heartbeats and reports GPUs whose heartbeat timed out.
+
+    Parameters
+    ----------
+    gpu_ids:
+        GPUs to monitor.
+    timeout_s:
+        A GPU is considered failed when no heartbeat arrived for this long.
+    """
+
+    def __init__(self, gpu_ids: Iterable[int], timeout_s: float = 30.0) -> None:
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self.timeout_s = timeout_s
+        self._last_seen: Dict[int, float] = {gpu_id: 0.0 for gpu_id in gpu_ids}
+        self._failed: Set[int] = set()
+
+    # ------------------------------------------------------------------ heartbeats
+    def heartbeat(self, gpu_id: int, now: float) -> None:
+        """Record a heartbeat from one GPU."""
+        if gpu_id not in self._last_seen:
+            raise KeyError(f"GPU {gpu_id} is not monitored")
+        if gpu_id in self._failed:
+            # A failed GPU coming back is treated as recovered.
+            self._failed.discard(gpu_id)
+        self._last_seen[gpu_id] = max(self._last_seen[gpu_id], now)
+
+    def heartbeat_all(self, now: float, except_ids: Iterable[int] = ()) -> None:
+        """Record heartbeats from every monitored GPU except ``except_ids``."""
+        excluded = set(except_ids)
+        for gpu_id in self._last_seen:
+            if gpu_id not in excluded:
+                self.heartbeat(gpu_id, now)
+
+    # ------------------------------------------------------------------ detection
+    def check(self, now: float) -> Optional[GPUFailure]:
+        """Return a failure event covering newly timed-out GPUs, if any."""
+        newly_failed = {
+            gpu_id
+            for gpu_id, last in self._last_seen.items()
+            if gpu_id not in self._failed and now - last > self.timeout_s
+        }
+        if not newly_failed:
+            return None
+        self._failed.update(newly_failed)
+        return GPUFailure(gpu_ids=frozenset(newly_failed), detected_at=now)
+
+    @property
+    def failed_gpu_ids(self) -> List[int]:
+        """All GPUs currently considered failed."""
+        return sorted(self._failed)
+
+    @property
+    def healthy_gpu_ids(self) -> List[int]:
+        """All GPUs currently considered healthy."""
+        return sorted(set(self._last_seen) - self._failed)
+
+
+__all__ = ["HeartbeatMonitor", "GPUFailure"]

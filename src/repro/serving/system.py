@@ -1,0 +1,224 @@
+"""The ThunderServe system facade.
+
+:class:`ThunderServe` wires the components of §4 together into the paper's overall
+routine:
+
+1. ``deploy()`` runs the scheduling algorithm and instantiates the model replicas
+   (in this reproduction, the replica cost models and the discrete-event simulator
+   take the place of real GPU processes);
+2. ``serve()`` replays a request trace against the current deployment plan;
+3. the workload profiler continuously monitors the observed request mix;
+4. on a detected workload shift or a GPU failure, the lightweight rescheduler
+   adjusts phase designations and the orchestration without reloading parameters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.exceptions import SchedulingError
+from repro.core.types import SLOSpec, SLOType
+from repro.costmodel.latency import CostModelParams, DEFAULT_PARAMS
+from repro.costmodel.reference import ReferenceLatency, a100_reference_latency
+from repro.hardware.cluster import Cluster
+from repro.model.architecture import ModelConfig
+from repro.scheduling.deployment import DeploymentPlan
+from repro.scheduling.rescheduling import LightweightRescheduler, ReschedulingOverheadModel
+from repro.scheduling.scheduler import ScheduleResult, Scheduler, SchedulerConfig
+from repro.serving.coordinator import RequestCoordinator
+from repro.serving.monitor import HeartbeatMonitor
+from repro.simulation.engine import ServingSimulator, SimulatorConfig
+from repro.simulation.metrics import SimulationResult
+from repro.workload.profiler import WorkloadProfiler
+from repro.workload.spec import WorkloadSpec
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class ServeEvent:
+    """A notable runtime event (rescheduling, failure handling) during serving."""
+
+    time: float
+    kind: str
+    detail: str
+
+
+class ThunderServe:
+    """End-to-end ThunderServe system over a (simulated) heterogeneous cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The GPU cluster to deploy on.
+    model:
+        Model to serve.
+    workload:
+        Expected workload (used for the initial deployment plan).
+    request_rate:
+        Planned average request rate (requests/s).
+    slo:
+        Absolute SLO deadlines; defaults to 5x the A100 reference latency.
+    scheduler_config:
+        Scheduling hyper-parameters (tabu search budget, KV transport bits, ...).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        model: ModelConfig,
+        workload: WorkloadSpec,
+        request_rate: float,
+        slo: Optional[SLOSpec] = None,
+        scheduler_config: Optional[SchedulerConfig] = None,
+        simulator_config: Optional[SimulatorConfig] = None,
+        params: CostModelParams = DEFAULT_PARAMS,
+    ) -> None:
+        if request_rate <= 0:
+            raise ValueError("request_rate must be positive")
+        self.cluster = cluster
+        self.model = model
+        self.workload = workload
+        self.request_rate = request_rate
+        self.params = params
+        self.scheduler = Scheduler(scheduler_config or SchedulerConfig())
+        self.simulator_config = simulator_config or SimulatorConfig()
+        self.reference: ReferenceLatency = a100_reference_latency(model, workload, params=params)
+        self.slo = slo or self.reference.slo_spec(5.0)
+        self.rescheduler = LightweightRescheduler(
+            kv_transport_bits=self.scheduler.config.kv_transport_bits, params=params
+        )
+        self.overhead_model = ReschedulingOverheadModel()
+        self.profiler = WorkloadProfiler()
+        self.monitor = HeartbeatMonitor(cluster.gpu_ids)
+        self.plan: Optional[DeploymentPlan] = None
+        self.coordinator: Optional[RequestCoordinator] = None
+        self.schedule_result: Optional[ScheduleResult] = None
+        self.events: List[ServeEvent] = []
+
+    # ------------------------------------------------------------------ deployment
+    def deploy(self, seed: Optional[int] = None) -> DeploymentPlan:
+        """Run the scheduling algorithm and install the resulting deployment plan."""
+        result = self.scheduler.schedule(
+            self.cluster, self.model, self.workload, self.request_rate, self.slo, seed=seed
+        )
+        self.schedule_result = result
+        self._install_plan(result.plan, reason="initial deployment")
+        self.profiler.set_reference_from_spec(self.workload, self.request_rate)
+        return result.plan
+
+    def _install_plan(self, plan: DeploymentPlan, reason: str) -> None:
+        self.plan = plan
+        self.coordinator = RequestCoordinator(plan)
+        self.events.append(ServeEvent(time=time.time(), kind="plan_installed", detail=reason))
+
+    def require_plan(self) -> DeploymentPlan:
+        """Return the installed plan, raising if ``deploy`` has not run yet."""
+        if self.plan is None:
+            raise SchedulingError("no deployment plan installed; call deploy() first")
+        return self.plan
+
+    # ------------------------------------------------------------------ serving
+    def serve(self, trace: Trace, label: str = "thunderserve") -> SimulationResult:
+        """Serve a request trace with the current deployment plan."""
+        plan = self.require_plan()
+        simulator = ServingSimulator(
+            self.cluster, plan, self.model, params=self.params, config=self.simulator_config
+        )
+        self.profiler.observe_many(trace)
+        return simulator.run(trace, label=label)
+
+    def serve_adaptive(
+        self,
+        trace: Trace,
+        window_s: float = 60.0,
+        label: str = "thunderserve-adaptive",
+    ) -> List[SimulationResult]:
+        """Serve a trace in windows, lightweight-rescheduling when the workload shifts.
+
+        Each window is served with the plan current at its start; between windows
+        the workload profiler checks for a shift and, if one is detected, the
+        lightweight rescheduler re-designates phases and re-orchestrates using the
+        *observed* workload statistics.  Returns the per-window simulation results.
+        """
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        plan = self.require_plan()
+        results: List[SimulationResult] = []
+        if trace.is_empty:
+            return results
+        start = trace[0].arrival_time
+        end = trace[-1].arrival_time
+        window_start = start
+        while window_start <= end:
+            window = trace.window(window_start, window_start + window_s)
+            if not window.is_empty:
+                results.append(self.serve(window, label=f"{label}[{window_start:.0f}s]"))
+                shift = self.profiler.detect_shift()
+                if shift is not None:
+                    self._reschedule_for_workload(shift)
+            window_start += window_s
+        return results
+
+    def _reschedule_for_workload(self, shift) -> None:
+        observed = shift.current.as_spec(name="observed")
+        rate = shift.current.request_rate or self.request_rate
+        result = self.rescheduler.reschedule(
+            self.require_plan(), self.cluster, self.model, observed, rate, self.slo
+        )
+        self._install_plan(result.plan, reason=f"lightweight rescheduling ({shift.describe()})")
+        self.profiler.set_reference(shift.current)
+
+    # ------------------------------------------------------------------ failures
+    def handle_gpu_failure(
+        self, failed_gpu_ids: Sequence[int], mode: str = "lightweight"
+    ) -> DeploymentPlan:
+        """React to GPU failures.
+
+        ``mode`` selects the Figure 11 strategies: ``"lightweight"`` (flip-only
+        rescheduling, no reload), ``"full"`` (re-run the whole scheduler on the
+        surviving GPUs) or ``"none"`` (just drop the affected groups).
+        """
+        if mode not in ("lightweight", "full", "none"):
+            raise ValueError("mode must be 'lightweight', 'full' or 'none'")
+        plan = self.require_plan()
+        failed = set(failed_gpu_ids)
+        self.cluster = self.cluster.without_gpus(failed)
+        self.monitor = HeartbeatMonitor(self.cluster.gpu_ids)
+
+        if mode == "full":
+            result = self.scheduler.schedule(
+                self.cluster, self.model, self.workload, self.request_rate, self.slo
+            )
+            new_plan = result.plan
+        elif mode == "lightweight":
+            result = self.rescheduler.reschedule(
+                plan, self.cluster, self.model, self.workload, self.request_rate, self.slo
+            )
+            new_plan = result.plan
+        else:
+            surviving = [g for g in plan.groups if not (set(g.gpu_ids) & failed)]
+            if not surviving:
+                raise SchedulingError("every serving group lost a GPU; cannot continue without rescheduling")
+            new_plan = DeploymentPlan(
+                groups=tuple(surviving),
+                routing=None,
+                model_name=plan.model_name,
+                kv_transport_bits=plan.kv_transport_bits,
+            )
+        self._install_plan(new_plan, reason=f"gpu failure ({sorted(failed)}), mode={mode}")
+        return new_plan
+
+    # ------------------------------------------------------------------ reporting
+    def attainment_curve(
+        self,
+        result: SimulationResult,
+        slo_scales: Sequence[float],
+        slo_type: SLOType = SLOType.E2E,
+    ) -> List[float]:
+        """SLO attainment of a serve() result swept over SLO scales."""
+        return result.attainment_curve(slo_scales, self.reference, slo_type)
+
+
+__all__ = ["ThunderServe", "ServeEvent"]

@@ -1,0 +1,27 @@
+"""Discrete-event LLM serving simulator.
+
+The simulator is the evaluation testbed of this reproduction: it replays a request
+trace against a deployment plan, modelling request queueing, prefill execution,
+KV-cache transfer over the cluster network, continuous-batching decode and (for
+co-locating baselines) prefill/decode interference.  Per-request service times come
+from the same roofline cost model the scheduler uses, but the simulator adds the
+queueing and batching dynamics that the scheduler's analytic estimator
+approximates — Figure 19 of the paper (and our ``fig19`` experiment) quantifies how
+close the two are.
+"""
+
+from repro.simulation.events import Event, EventKind, EventQueue
+from repro.simulation.metrics import SimulationResult, summarize_requests
+from repro.simulation.engine import ServingSimulator, SimulatorConfig
+from repro.simulation.colocated import ColocatedSimulator
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "SimulationResult",
+    "summarize_requests",
+    "ServingSimulator",
+    "SimulatorConfig",
+    "ColocatedSimulator",
+]

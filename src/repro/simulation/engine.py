@@ -1,0 +1,313 @@
+"""Discrete-event simulator for phase-splitting deployments.
+
+The simulator replays a request trace against a :class:`DeploymentPlan`:
+
+1. arrivals are dispatched to a prefill replica and a decode replica according to
+   the plan's routing policy (the ``X`` / ``Y`` of §3.3);
+2. each prefill replica serves its queue in FIFO order, one batch at a time, with
+   service times from the roofline cost model;
+3. the resulting KV cache is transferred to the decode replica over the cluster
+   network (alpha-beta model, optionally 4-bit compressed);
+4. each decode replica runs continuous batching: at every step boundary it admits
+   pending requests while KV-cache memory allows, then advances every active
+   sequence by one token.
+
+The per-request :class:`RequestMetrics` collected here are what the end-to-end
+experiments (Figures 7–9, 11, 12, Tables 5 and 8) aggregate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import SimulationError
+from repro.core.rng import RNGLike, ensure_rng
+from repro.core.types import Phase, Request, RequestMetrics
+from repro.costmodel.kv_transfer import kv_transfer_seconds
+from repro.costmodel.latency import CostModelParams, DEFAULT_PARAMS, ReplicaCostModel
+from repro.hardware.cluster import Cluster
+from repro.kvcache.paged import PagedKVCache
+from repro.model.architecture import ModelConfig
+from repro.scheduling.deployment import DeploymentPlan, RoutingPolicy
+from repro.simulation.events import Event, EventKind, EventQueue
+from repro.simulation.metrics import SimulationResult
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Knobs of the discrete-event simulator."""
+
+    #: maximum number of requests batched into a single prefill execution
+    max_prefill_batch_requests: int = 1
+    #: KV block size (tokens) of the paged cache used for decode admission
+    kv_block_size: int = 16
+    #: hard cap on simulated time (seconds); ``None`` lets the system fully drain
+    max_sim_time: Optional[float] = None
+    #: RNG seed for routing draws
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_prefill_batch_requests < 1:
+            raise ValueError("max_prefill_batch_requests must be >= 1")
+        if self.kv_block_size < 1:
+            raise ValueError("kv_block_size must be >= 1")
+
+
+@dataclass
+class _PrefillReplica:
+    """Run-time state of one prefill replica."""
+
+    group_id: int
+    cost: ReplicaCostModel
+    queue: Deque[Request] = field(default_factory=deque)
+    busy: bool = False
+
+
+@dataclass
+class _DecodeReplica:
+    """Run-time state of one decode replica."""
+
+    group_id: int
+    cost: ReplicaCostModel
+    kv: PagedKVCache
+    max_batch: int
+    #: request_id -> [current context length, remaining tokens to generate]
+    active: Dict[int, List[int]] = field(default_factory=dict)
+    pending: Deque[Request] = field(default_factory=deque)
+    stepping: bool = False
+
+
+class ServingSimulator:
+    """Simulates a phase-splitting deployment serving a request trace."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        plan: DeploymentPlan,
+        model: ModelConfig,
+        params: CostModelParams = DEFAULT_PARAMS,
+        config: SimulatorConfig = SimulatorConfig(),
+    ) -> None:
+        if not plan.prefill_groups or not plan.decode_groups:
+            raise SimulationError("the deployment plan must contain prefill and decode replicas")
+        self.cluster = cluster
+        self.plan = plan
+        self.model = model
+        self.params = params
+        self.config = config
+        self._rng = ensure_rng(config.seed)
+
+        self.prefills: Dict[int, _PrefillReplica] = {}
+        for group in plan.prefill_groups:
+            if group.plan is None:
+                raise SimulationError(f"prefill group {group.group_id} has no parallel plan")
+            self.prefills[group.group_id] = _PrefillReplica(
+                group_id=group.group_id,
+                cost=ReplicaCostModel(cluster, group.plan, model, params),
+            )
+        self.decodes: Dict[int, _DecodeReplica] = {}
+        for group in plan.decode_groups:
+            if group.plan is None:
+                raise SimulationError(f"decode group {group.group_id} has no parallel plan")
+            cost = ReplicaCostModel(cluster, group.plan, model, params)
+            capacity_tokens = cost.kv_token_capacity()
+            kv = PagedKVCache(
+                num_blocks=max(0, capacity_tokens // config.kv_block_size),
+                block_size=config.kv_block_size,
+            )
+            self.decodes[group.group_id] = _DecodeReplica(
+                group_id=group.group_id,
+                cost=cost,
+                kv=kv,
+                max_batch=params.max_decode_batch,
+            )
+
+        self.routing = plan.routing or RoutingPolicy.uniform(
+            [g.group_id for g in plan.prefill_groups],
+            [g.group_id for g in plan.decode_groups],
+        )
+        self._events = EventQueue()
+        self._metrics: Dict[int, RequestMetrics] = {}
+        self._prefill_start: Dict[int, float] = {}
+        self._decode_target: Dict[int, int] = {}
+        self._clock = 0.0
+
+    # ------------------------------------------------------------------ dispatch
+    def _choose_pair(self) -> Tuple[int, int]:
+        """Sample a (prefill group, decode group) pair from the routing policy."""
+        x = self.routing.x
+        i = int(self._rng.choice(len(x), p=x / x.sum()))
+        y_row = self.routing.y[i]
+        j = int(self._rng.choice(len(y_row), p=y_row / y_row.sum()))
+        return self.routing.prefill_group_ids[i], self.routing.decode_group_ids[j]
+
+    # ------------------------------------------------------------------ run
+    def run(self, trace: Trace, label: str = "thunderserve") -> SimulationResult:
+        """Replay a trace and return the per-request metrics."""
+        self._events = EventQueue()
+        self._metrics = {}
+        self._prefill_start = {}
+        self._decode_target = {}
+        self._clock = 0.0
+        for replica in self.prefills.values():
+            replica.queue.clear()
+            replica.busy = False
+        for replica in self.decodes.values():
+            replica.active.clear()
+            replica.pending.clear()
+            replica.kv.reset()
+            replica.stepping = False
+
+        for request in trace:
+            self._events.push(Event(time=request.arrival_time, kind=EventKind.ARRIVAL, payload=request))
+
+        horizon = self.config.max_sim_time
+        while self._events:
+            event = self._events.pop()
+            if horizon is not None and event.time > horizon:
+                break
+            self._clock = max(self._clock, event.time)
+            if event.kind is EventKind.ARRIVAL:
+                self._on_arrival(event.payload, event.time)
+            elif event.kind is EventKind.PREFILL_DONE:
+                self._on_prefill_done(event.replica_id, event.payload, event.time)
+            elif event.kind is EventKind.KV_ARRIVED:
+                self._on_kv_arrived(event.replica_id, event.payload, event.time)
+            elif event.kind is EventKind.DECODE_STEP:
+                self._on_decode_step(event.replica_id, event.time)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unexpected event kind {event.kind}")
+
+        metrics = [self._metrics[rid] for rid in sorted(self._metrics)]
+        return SimulationResult(
+            metrics=metrics,
+            makespan=self._clock,
+            trace_duration=trace.duration,
+            label=label,
+        )
+
+    # ------------------------------------------------------------------ handlers
+    def _on_arrival(self, request: Request, now: float) -> None:
+        prefill_id, decode_id = self._choose_pair()
+        metrics = RequestMetrics(request=request, enqueue_time=now)
+        metrics.prefill_replica = prefill_id
+        metrics.decode_replica = decode_id
+        self._metrics[request.request_id] = metrics
+        self._decode_target[request.request_id] = decode_id
+        replica = self.prefills[prefill_id]
+        replica.queue.append(request)
+        if not replica.busy:
+            self._start_prefill_batch(replica, now)
+
+    def _start_prefill_batch(self, replica: _PrefillReplica, now: float) -> None:
+        if not replica.queue:
+            replica.busy = False
+            return
+        batch: List[Request] = []
+        while replica.queue and len(batch) < self.config.max_prefill_batch_requests:
+            batch.append(replica.queue.popleft())
+        replica.busy = True
+        max_input = max(r.input_length for r in batch)
+        latency = replica.cost.prefill_latency(max_input, batch_size=len(batch))
+        for request in batch:
+            self._prefill_start[request.request_id] = now
+        self._events.push(
+            Event(
+                time=now + latency,
+                kind=EventKind.PREFILL_DONE,
+                replica_id=replica.group_id,
+                payload=batch,
+            )
+        )
+
+    def _on_prefill_done(self, replica_id: int, batch: List[Request], now: float) -> None:
+        replica = self.prefills[replica_id]
+        prefill_group = self.plan.group(replica_id)
+        for request in batch:
+            metrics = self._metrics[request.request_id]
+            metrics.prefill_start = self._prefill_start[request.request_id]
+            metrics.first_token_time = now
+            decode_id = self._decode_target[request.request_id]
+            if request.output_length <= 1:
+                # Single-token responses finish at prefill; no KV transfer needed.
+                metrics.kv_transfer_done = now
+                metrics.completion_time = now
+                metrics.finished = True
+                continue
+            decode_group = self.plan.group(decode_id)
+            transfer = kv_transfer_seconds(
+                self.cluster.network,
+                prefill_group.gpu_ids,
+                decode_group.gpu_ids,
+                self.model,
+                num_tokens=request.input_length + 1,
+                batch_size=1,
+                bits=self.plan.kv_transport_bits,
+            )
+            self._events.push(
+                Event(
+                    time=now + transfer,
+                    kind=EventKind.KV_ARRIVED,
+                    replica_id=decode_id,
+                    payload=request,
+                )
+            )
+        # Keep the prefill replica busy with the next batch, if any.
+        self._start_prefill_batch(replica, now)
+
+    def _on_kv_arrived(self, replica_id: int, request: Request, now: float) -> None:
+        metrics = self._metrics[request.request_id]
+        metrics.kv_transfer_done = now
+        replica = self.decodes[replica_id]
+        replica.pending.append(request)
+        if not replica.stepping:
+            self._schedule_decode_step(replica, now)
+
+    def _admit_pending(self, replica: _DecodeReplica) -> None:
+        """Admit pending requests while KV memory and the batch cap allow."""
+        while replica.pending and len(replica.active) < replica.max_batch:
+            request = replica.pending[0]
+            final_context = request.total_tokens
+            if not replica.kv.can_allocate(final_context):
+                break
+            replica.pending.popleft()
+            replica.kv.allocate(request.request_id, final_context)
+            # The prefill already produced the first output token.
+            replica.active[request.request_id] = [request.input_length + 1, request.output_length - 1]
+
+    def _schedule_decode_step(self, replica: _DecodeReplica, now: float) -> None:
+        self._admit_pending(replica)
+        if not replica.active:
+            replica.stepping = False
+            return
+        replica.stepping = True
+        batch = len(replica.active)
+        mean_context = int(np.mean([state[0] for state in replica.active.values()]))
+        latency = replica.cost.decode_step_latency(batch, max(1, mean_context))
+        self._events.push(
+            Event(time=now + latency, kind=EventKind.DECODE_STEP, replica_id=replica.group_id)
+        )
+
+    def _on_decode_step(self, replica_id: int, now: float) -> None:
+        replica = self.decodes[replica_id]
+        finished_ids: List[int] = []
+        for request_id, state in replica.active.items():
+            state[0] += 1
+            state[1] -= 1
+            if state[1] <= 0:
+                finished_ids.append(request_id)
+        for request_id in finished_ids:
+            del replica.active[request_id]
+            replica.kv.free(request_id)
+            metrics = self._metrics[request_id]
+            metrics.completion_time = now
+            metrics.finished = True
+        self._schedule_decode_step(replica, now)
+
+
+__all__ = ["ServingSimulator", "SimulatorConfig"]

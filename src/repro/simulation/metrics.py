@@ -1,0 +1,171 @@
+"""Simulation results and metric aggregation.
+
+The paper's evaluation reports two families of numbers:
+
+* **SLO attainment** — the percentage of requests whose TTFT / TPOT / E2E latency
+  stays under a deadline, swept over SLO scales (Figures 7, 8, 11, 12, 14);
+* **throughput** — generated tokens (or requests) per second (Figures 6, 9,
+  Tables 5 and 8).
+
+:class:`SimulationResult` wraps the per-request metrics produced by a simulator run
+and exposes those aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.types import RequestMetrics, SLOSpec, SLOType
+
+
+def summarize_requests(metrics: Sequence[RequestMetrics]) -> Dict[str, float]:
+    """Mean latency components over the finished requests of a run."""
+    finished = [m for m in metrics if m.finished]
+    if not finished:
+        return {
+            "num_finished": 0.0,
+            "mean_ttft": float("nan"),
+            "mean_tpot": float("nan"),
+            "mean_e2e": float("nan"),
+            "mean_queue": float("nan"),
+            "mean_prefill": float("nan"),
+            "mean_kv_transfer": float("nan"),
+            "mean_decode": float("nan"),
+        }
+    return {
+        "num_finished": float(len(finished)),
+        "mean_ttft": float(np.mean([m.ttft for m in finished])),
+        "mean_tpot": float(np.mean([m.tpot for m in finished])),
+        "mean_e2e": float(np.mean([m.e2e_latency for m in finished])),
+        "mean_queue": float(np.mean([m.queue_time for m in finished])),
+        "mean_prefill": float(np.mean([m.prefill_time for m in finished])),
+        "mean_kv_transfer": float(np.mean([m.kv_transfer_time for m in finished])),
+        "mean_decode": float(np.mean([m.decode_time for m in finished])),
+    }
+
+
+@dataclass
+class SimulationResult:
+    """Per-request metrics plus run-level aggregates of one simulation."""
+
+    metrics: List[RequestMetrics]
+    #: simulation time at which the last event was processed
+    makespan: float
+    #: wall-clock duration of the simulated request trace (arrival span)
+    trace_duration: float
+    #: label of the system / plan that produced the run (for reporting)
+    label: str = ""
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def num_requests(self) -> int:
+        """Number of requests injected."""
+        return len(self.metrics)
+
+    @property
+    def finished(self) -> List[RequestMetrics]:
+        """Metrics of requests that completed."""
+        return [m for m in self.metrics if m.finished]
+
+    @property
+    def num_finished(self) -> int:
+        """Number of completed requests."""
+        return len(self.finished)
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of requests that completed within the simulation horizon."""
+        if not self.metrics:
+            return 0.0
+        return self.num_finished / self.num_requests
+
+    # ------------------------------------------------------------------ latency
+    def mean(self, slo_type: SLOType) -> float:
+        """Mean latency of the given type over finished requests."""
+        finished = self.finished
+        if not finished:
+            return float("nan")
+        return float(np.mean([m.value_for(slo_type) for m in finished]))
+
+    def percentile(self, slo_type: SLOType, q: float) -> float:
+        """Latency percentile (``q`` in [0, 100]) of the given type."""
+        finished = self.finished
+        if not finished:
+            return float("nan")
+        return float(np.percentile([m.value_for(slo_type) for m in finished], q))
+
+    def summary(self) -> Dict[str, float]:
+        """Mean latency component breakdown (see :func:`summarize_requests`)."""
+        return summarize_requests(self.metrics)
+
+    # ------------------------------------------------------------------ SLO
+    def slo_attainment(self, slo: SLOSpec, slo_type: SLOType = SLOType.E2E) -> float:
+        """Fraction of *all* requests meeting the SLO (unfinished requests miss)."""
+        if not self.metrics:
+            return 0.0
+        hits = sum(1 for m in self.metrics if slo.is_met(m, slo_type))
+        return hits / len(self.metrics)
+
+    def attainment_curve(
+        self,
+        slo_scales: Iterable[float],
+        reference,
+        slo_type: SLOType = SLOType.E2E,
+    ) -> List[float]:
+        """SLO attainment swept over SLO scales (the Figure 7/8 curves).
+
+        ``reference`` is a :class:`~repro.costmodel.reference.ReferenceLatency`
+        providing ``slo_spec(scale)``.
+        """
+        return [self.slo_attainment(reference.slo_spec(s), slo_type) for s in slo_scales]
+
+    def min_scale_for_attainment(
+        self,
+        target: float,
+        reference,
+        slo_type: SLOType = SLOType.E2E,
+        scales: Optional[Sequence[float]] = None,
+    ) -> float:
+        """Smallest SLO scale achieving ``target`` attainment (the "latency deadline").
+
+        The paper reports, for a target attainment goal such as 90 % or 99 %, the
+        minimum latency deadline (SLO scale) that reaches it.  Returns ``inf`` when
+        even the largest probed scale falls short.
+        """
+        probe = list(scales) if scales is not None else [x / 4 for x in range(1, 241)]
+        for s in sorted(probe):
+            if self.slo_attainment(reference.slo_spec(s), slo_type) >= target:
+                return float(s)
+        return float("inf")
+
+    # ------------------------------------------------------------------ throughput
+    @property
+    def output_token_throughput(self) -> float:
+        """Generated tokens per second over the run (the paper's token throughput)."""
+        finished = self.finished
+        if not finished or self.makespan <= 0:
+            return 0.0
+        tokens = sum(m.request.output_length for m in finished)
+        return tokens / self.makespan
+
+    @property
+    def total_token_throughput(self) -> float:
+        """Prompt + generated tokens per second over the run."""
+        finished = self.finished
+        if not finished or self.makespan <= 0:
+            return 0.0
+        tokens = sum(m.request.total_tokens for m in finished)
+        return tokens / self.makespan
+
+    @property
+    def request_throughput(self) -> float:
+        """Completed requests per second over the run."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.num_finished / self.makespan
+
+
+__all__ = ["SimulationResult", "summarize_requests"]

@@ -1,0 +1,5 @@
+"""Small shared utilities (table formatting, experiment bookkeeping)."""
+
+from repro.utils.tables import format_table, format_value
+
+__all__ = ["format_table", "format_value"]

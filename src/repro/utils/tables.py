@@ -1,0 +1,56 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every experiment module returns structured rows; these helpers render them as
+aligned text tables so that benchmark runs print the same kind of rows/series the
+paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+
+def format_value(value: Any, precision: int = 3) -> str:
+    """Render one cell: floats with fixed precision, everything else via ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000 or (abs(value) < 1e-3 and value != 0):
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table with optional title."""
+    str_rows: List[List[str]] = [[format_value(cell, precision) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have the same number of cells as the header")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+__all__ = ["format_value", "format_table"]

@@ -1,0 +1,101 @@
+"""Request trace generation with Poisson arrivals.
+
+Following the paper (§5.1), request arrivals follow a Poisson process determined by
+the average request rate, with inter-arrival times drawn from an exponential
+distribution; prompt and response lengths are drawn from the workload spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.core.rng import RNGLike, ensure_rng
+from repro.core.types import Request
+from repro.workload.spec import WorkloadSpec
+from repro.workload.trace import Trace
+
+
+@dataclass
+class PoissonArrivalGenerator:
+    """Generates request traces with exponential inter-arrival times.
+
+    Parameters
+    ----------
+    spec:
+        Workload shape (length distributions).
+    request_rate:
+        Mean arrival rate in requests per second.
+    seed:
+        Seed or generator controlling both arrivals and lengths.
+    """
+
+    spec: WorkloadSpec
+    request_rate: float
+    seed: RNGLike = None
+
+    def __post_init__(self) -> None:
+        if self.request_rate <= 0:
+            raise ValueError(f"request_rate must be positive, got {self.request_rate}")
+        self._rng = ensure_rng(self.seed)
+
+    def generate(
+        self,
+        duration: Optional[float] = None,
+        num_requests: Optional[int] = None,
+        start_time: float = 0.0,
+        first_request_id: int = 0,
+    ) -> Trace:
+        """Generate a trace covering ``duration`` seconds or ``num_requests`` requests.
+
+        Exactly one of ``duration`` / ``num_requests`` must be provided.
+        """
+        if (duration is None) == (num_requests is None):
+            raise ValueError("provide exactly one of duration or num_requests")
+        if duration is not None and duration <= 0:
+            raise ValueError("duration must be positive")
+        if num_requests is not None and num_requests < 0:
+            raise ValueError("num_requests must be >= 0")
+
+        if num_requests is None:
+            # Over-sample arrivals then truncate to the duration window.
+            expected = max(1, int(self.request_rate * duration * 1.5) + 10)
+            gaps = self._rng.exponential(1.0 / self.request_rate, size=expected)
+            arrivals = start_time + np.cumsum(gaps)
+            arrivals = arrivals[arrivals < start_time + duration]
+            n = len(arrivals)
+        else:
+            n = num_requests
+            gaps = self._rng.exponential(1.0 / self.request_rate, size=n)
+            arrivals = start_time + np.cumsum(gaps)
+
+        inputs = self.spec.sample_input_lengths(n, self._rng)
+        outputs = self.spec.sample_output_lengths(n, self._rng)
+        requests = [
+            Request(
+                request_id=first_request_id + i,
+                arrival_time=float(arrivals[i]),
+                input_length=int(inputs[i]),
+                output_length=int(outputs[i]),
+                workload=self.spec.name,
+            )
+            for i in range(n)
+        ]
+        return Trace(requests=requests, name=self.spec.name)
+
+
+def generate_requests(
+    spec: WorkloadSpec,
+    request_rate: float,
+    duration: Optional[float] = None,
+    num_requests: Optional[int] = None,
+    seed: RNGLike = None,
+) -> Trace:
+    """Convenience wrapper around :class:`PoissonArrivalGenerator`."""
+    gen = PoissonArrivalGenerator(spec=spec, request_rate=request_rate, seed=seed)
+    return gen.generate(duration=duration, num_requests=num_requests)
+
+
+__all__ = ["PoissonArrivalGenerator", "generate_requests"]

@@ -1,0 +1,134 @@
+"""Request traces: ordered request collections with summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.core.types import Request
+
+
+@dataclass
+class Trace:
+    """An arrival-ordered sequence of requests plus summary statistics."""
+
+    requests: List[Request]
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        self.requests = sorted(self.requests, key=lambda r: r.arrival_time)
+
+    # ------------------------------------------------------------------ container
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    def __getitem__(self, idx: int) -> Request:
+        return self.requests[idx]
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the trace contains no requests."""
+        return not self.requests
+
+    # ------------------------------------------------------------------ statistics
+    @property
+    def duration(self) -> float:
+        """Span between the first and last arrival (seconds)."""
+        if len(self.requests) < 2:
+            return 0.0
+        return self.requests[-1].arrival_time - self.requests[0].arrival_time
+
+    @property
+    def request_rate(self) -> float:
+        """Empirical mean arrival rate (requests per second)."""
+        if len(self.requests) < 2 or self.duration == 0:
+            return 0.0
+        return (len(self.requests) - 1) / self.duration
+
+    @property
+    def mean_input_length(self) -> float:
+        """Mean prompt length across the trace."""
+        if not self.requests:
+            return 0.0
+        return float(np.mean([r.input_length for r in self.requests]))
+
+    @property
+    def mean_output_length(self) -> float:
+        """Mean response length across the trace."""
+        if not self.requests:
+            return 0.0
+        return float(np.mean([r.output_length for r in self.requests]))
+
+    @property
+    def median_input_length(self) -> float:
+        """Median prompt length across the trace."""
+        if not self.requests:
+            return 0.0
+        return float(np.median([r.input_length for r in self.requests]))
+
+    @property
+    def median_output_length(self) -> float:
+        """Median response length across the trace."""
+        if not self.requests:
+            return 0.0
+        return float(np.median([r.output_length for r in self.requests]))
+
+    @property
+    def total_input_tokens(self) -> int:
+        """Total prompt tokens in the trace."""
+        return int(sum(r.input_length for r in self.requests))
+
+    @property
+    def total_output_tokens(self) -> int:
+        """Total generated tokens in the trace."""
+        return int(sum(r.output_length for r in self.requests))
+
+    @property
+    def total_tokens(self) -> int:
+        """Total tokens (prompt + generated) in the trace."""
+        return self.total_input_tokens + self.total_output_tokens
+
+    # ------------------------------------------------------------------ transforms
+    def window(self, start: float, end: float) -> "Trace":
+        """Return the sub-trace of requests arriving in ``[start, end)``."""
+        if end < start:
+            raise ValueError("end must be >= start")
+        selected = [r for r in self.requests if start <= r.arrival_time < end]
+        return Trace(requests=selected, name=f"{self.name}[{start:g},{end:g})")
+
+    def head(self, n: int) -> "Trace":
+        """Return the first ``n`` requests as a new trace."""
+        return Trace(requests=list(self.requests[:n]), name=f"{self.name}-head{n}")
+
+    def renumbered(self, first_id: int = 0) -> "Trace":
+        """Return a copy with request ids renumbered consecutively from ``first_id``."""
+        renumbered = [
+            replace(r, request_id=first_id + i) for i, r in enumerate(self.requests)
+        ]
+        return Trace(requests=renumbered, name=self.name)
+
+    def shifted(self, offset: float) -> "Trace":
+        """Return a copy with every arrival time shifted by ``offset`` seconds."""
+        shifted = [r.with_arrival(r.arrival_time + offset) for r in self.requests]
+        return Trace(requests=shifted, name=self.name)
+
+
+def merge_traces(traces: Sequence[Trace], name: str = "merged") -> Trace:
+    """Interleave several traces by arrival time and renumber request ids.
+
+    Used to model workload shifts: e.g. a coding trace for the first half of the
+    horizon followed by a conversation trace for the second half.
+    """
+    requests: List[Request] = []
+    for trace in traces:
+        requests.extend(trace.requests)
+    merged = Trace(requests=requests, name=name)
+    return merged.renumbered()
+
+
+__all__ = ["Trace", "merge_traces"]

@@ -1,0 +1,85 @@
+"""Tests for the vLLM-like, DistServe-like and HexGen-like baseline systems."""
+
+import pytest
+
+from repro.baselines.distserve import DistServeBaseline
+from repro.baselines.hexgen import HexGenBaseline
+from repro.baselines.vllm import VLLMBaseline
+from repro.workload.generator import generate_requests
+from repro.workload.spec import CODING_WORKLOAD, CONVERSATION_WORKLOAD
+
+
+@pytest.fixture(scope="module")
+def short_trace():
+    return generate_requests(CONVERSATION_WORKLOAD, request_rate=3.0, num_requests=30, seed=21)
+
+
+class TestVLLMBaseline:
+    def test_builds_four_replicas_on_inhouse(self, inhouse_cluster, model_30b):
+        baseline = VLLMBaseline(inhouse_cluster, model_30b, CONVERSATION_WORKLOAD, request_rate=3.0)
+        # LLaMA-30B needs two A100s per replica -> 4 replicas on 8 GPUs (paper §5.3).
+        assert baseline.num_replicas == 4
+
+    def test_serves_trace(self, inhouse_cluster, model_30b, short_trace):
+        baseline = VLLMBaseline(inhouse_cluster, model_30b, CONVERSATION_WORKLOAD, request_rate=3.0)
+        result = baseline.serve(short_trace)
+        assert result.num_finished == len(short_trace)
+        assert result.label == "vllm"
+
+    def test_explicit_group_size(self, inhouse_cluster, model_30b, short_trace):
+        baseline = VLLMBaseline(
+            inhouse_cluster, model_30b, CONVERSATION_WORKLOAD, request_rate=3.0, gpus_per_replica=4
+        )
+        assert baseline.num_replicas == 2
+
+    def test_invalid_rate_rejected(self, inhouse_cluster, model_30b):
+        with pytest.raises(ValueError):
+            VLLMBaseline(inhouse_cluster, model_30b, CONVERSATION_WORKLOAD, request_rate=0.0)
+
+
+class TestDistServeBaseline:
+    def test_split_has_both_phases(self, inhouse_cluster, model_30b):
+        baseline = DistServeBaseline(inhouse_cluster, model_30b, CONVERSATION_WORKLOAD, request_rate=3.0)
+        prefill, decode = baseline.prefill_decode_ratio
+        assert prefill >= 1 and decode >= 1
+        assert prefill + decode == 4
+
+    def test_serves_trace(self, inhouse_cluster, model_30b, short_trace):
+        baseline = DistServeBaseline(inhouse_cluster, model_30b, CONVERSATION_WORKLOAD, request_rate=3.0)
+        result = baseline.serve(short_trace)
+        assert result.num_finished == len(short_trace)
+
+    def test_uses_uncompressed_kv_transport(self, inhouse_cluster, model_30b):
+        baseline = DistServeBaseline(inhouse_cluster, model_30b, CONVERSATION_WORKLOAD, request_rate=3.0)
+        baseline.ensure_built()
+        assert baseline.plan.kv_transport_bits == 16
+
+    def test_coding_gets_no_fewer_prefill_than_conversation(self, inhouse_cluster, model_30b):
+        coding = DistServeBaseline(inhouse_cluster, model_30b, CODING_WORKLOAD, request_rate=6.0)
+        conversation = DistServeBaseline(inhouse_cluster, model_30b, CONVERSATION_WORKLOAD, request_rate=6.0)
+        assert coding.prefill_decode_ratio[0] >= conversation.prefill_decode_ratio[0]
+
+
+class TestHexGenBaseline:
+    def test_builds_multiple_replicas_on_cloud(self, cloud_cluster, model_30b):
+        baseline = HexGenBaseline(cloud_cluster, model_30b, CONVERSATION_WORKLOAD, request_rate=3.0)
+        assert baseline.num_replicas >= 4
+
+    def test_replicas_cover_disjoint_gpus(self, cloud_cluster, model_30b):
+        baseline = HexGenBaseline(cloud_cluster, model_30b, CONVERSATION_WORKLOAD, request_rate=3.0)
+        baseline.ensure_built()
+        seen = set()
+        for group in baseline.replica_gpu_groups:
+            assert not (seen & set(group))
+            seen.update(group)
+
+    def test_serves_trace(self, cloud_cluster, model_30b, short_trace):
+        baseline = HexGenBaseline(cloud_cluster, model_30b, CONVERSATION_WORKLOAD, request_rate=3.0)
+        result = baseline.serve(short_trace)
+        assert result.num_finished == len(short_trace)
+        assert result.label == "hexgen"
+
+    def test_no_kv_transfer_in_colocated_serving(self, cloud_cluster, model_30b, short_trace):
+        baseline = HexGenBaseline(cloud_cluster, model_30b, CONVERSATION_WORKLOAD, request_rate=3.0)
+        result = baseline.serve(short_trace)
+        assert result.summary()["mean_kv_transfer"] == pytest.approx(0.0)

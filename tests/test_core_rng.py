@@ -1,0 +1,48 @@
+"""Unit tests for the deterministic RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_same_seed_same_stream(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(5)
+        b = ensure_rng(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnRng:
+    def test_spawn_count(self):
+        children = spawn_rng(ensure_rng(0), 3)
+        assert len(children) == 3
+
+    def test_spawn_deterministic(self):
+        a = [g.random() for g in spawn_rng(ensure_rng(7), 4)]
+        b = [g.random() for g in spawn_rng(ensure_rng(7), 4)]
+        assert np.allclose(a, b)
+
+    def test_spawn_children_independent(self):
+        children = spawn_rng(ensure_rng(0), 2)
+        assert children[0].random() != pytest.approx(children[1].random())
+
+    def test_spawn_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            spawn_rng(ensure_rng(0), 0)

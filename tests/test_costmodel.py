@@ -1,0 +1,210 @@
+"""Unit tests for the roofline cost model, alpha-beta model, KV transfer and prices."""
+
+import math
+
+import pytest
+
+from repro.core.types import Phase
+from repro.costmodel.alpha_beta import AlphaBetaModel, transfer_seconds
+from repro.costmodel.kv_transfer import kv_transfer_bytes, kv_transfer_fraction, kv_transfer_seconds
+from repro.costmodel.latency import CostModelParams, ReplicaCostModel, single_gpu_phase_latency
+from repro.costmodel.price import cheapest_gpu_for_phase, phase_price_per_request, phase_price_table
+from repro.costmodel.reference import a100_reference_latency
+from repro.hardware.gpu import get_gpu_spec
+from repro.model.memory import kv_cache_bytes_per_token
+from repro.parallelism.config import ReplicaPlan
+
+
+class TestAlphaBeta:
+    def test_transfer_seconds_formula(self):
+        assert transfer_seconds(1e-3, 1e9, 1e9) == pytest.approx(1.001)
+
+    def test_zero_bytes_is_free(self):
+        assert transfer_seconds(1e-3, 1e9, 0) == 0.0
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_seconds(0.0, 0.0, 10)
+
+    def test_allreduce_degenerate_world(self):
+        link = AlphaBetaModel(alpha_s=1e-5, beta_bytes_per_s=1e10)
+        assert link.allreduce_seconds(1e6, 1) == 0.0
+
+    def test_allreduce_grows_with_world_size(self):
+        link = AlphaBetaModel(alpha_s=1e-5, beta_bytes_per_s=1e10)
+        assert link.allreduce_seconds(1e6, 4) > link.allreduce_seconds(1e6, 2)
+
+
+class TestSingleGPULatency:
+    def test_prefill_faster_on_a40_than_3090ti(self, model_30b):
+        a40 = single_gpu_phase_latency(get_gpu_spec("A40"), model_30b, Phase.PREFILL, 512)
+        ti = single_gpu_phase_latency(get_gpu_spec("3090Ti"), model_30b, Phase.PREFILL, 512)
+        assert a40 < ti
+
+    def test_decode_faster_on_3090ti_than_a40(self, model_30b):
+        a40 = single_gpu_phase_latency(get_gpu_spec("A40"), model_30b, Phase.DECODE, 512, 16)
+        ti = single_gpu_phase_latency(get_gpu_spec("3090Ti"), model_30b, Phase.DECODE, 512, 16)
+        assert ti < a40
+
+    def test_prefill_latency_grows_with_prompt(self, model_7b):
+        spec = get_gpu_spec("A100")
+        assert single_gpu_phase_latency(spec, model_7b, Phase.PREFILL, 2048) > single_gpu_phase_latency(
+            spec, model_7b, Phase.PREFILL, 256
+        )
+
+    def test_decode_latency_grows_with_output(self, model_7b):
+        spec = get_gpu_spec("A100")
+        assert single_gpu_phase_latency(
+            spec, model_7b, Phase.DECODE, 512, output_length=64
+        ) > single_gpu_phase_latency(spec, model_7b, Phase.DECODE, 512, output_length=8)
+
+    def test_invalid_lengths_rejected(self, model_7b):
+        with pytest.raises(ValueError):
+            single_gpu_phase_latency(get_gpu_spec("A100"), model_7b, Phase.PREFILL, 0)
+
+    def test_reasonable_magnitude(self, model_7b):
+        # LLaMA-7B prefill of 1024 tokens on an A100 should be tens of milliseconds.
+        latency = single_gpu_phase_latency(get_gpu_spec("A100"), model_7b, Phase.PREFILL, 1024)
+        assert 0.01 < latency < 1.0
+
+
+class TestCostModelParams:
+    def test_prefill_mfu_saturates(self):
+        params = CostModelParams()
+        assert params.prefill_mfu(64) < params.prefill_mfu(2048)
+        assert params.prefill_mfu(100000) <= params.prefill_mfu_max
+
+    def test_tp_efficiency_decreases(self):
+        params = CostModelParams()
+        assert params.tp_efficiency(1) == 1.0
+        assert params.tp_efficiency(8) < params.tp_efficiency(2)
+
+
+@pytest.fixture(scope="module")
+def a40_pair_cost(small_hetero_cluster_module, model_30b_module):
+    cluster, model = small_hetero_cluster_module, model_30b_module
+    a40 = [g.gpu_id for g in cluster.gpus_of_type("A40")][:4]
+    plan = ReplicaPlan.from_stage_lists([a40], [model.num_layers])
+    return ReplicaCostModel(cluster, plan, model)
+
+
+@pytest.fixture(scope="module")
+def small_hetero_cluster_module():
+    from repro.hardware.cluster import make_two_datacenter_cluster
+
+    return make_two_datacenter_cluster(inter_dc_gbps=5.0, seed=0)
+
+
+@pytest.fixture(scope="module")
+def model_30b_module():
+    from repro.model.architecture import get_model_config
+
+    return get_model_config("llama-30b")
+
+
+class TestReplicaCostModel:
+    def test_layer_count_must_match(self, small_hetero_cluster_module, model_30b_module):
+        gpu_ids = small_hetero_cluster_module.gpu_ids[:4]
+        plan = ReplicaPlan.from_stage_lists([gpu_ids], [10])
+        with pytest.raises(Exception):
+            ReplicaCostModel(small_hetero_cluster_module, plan, model_30b_module)
+
+    def test_prefill_latency_monotone_in_tokens(self, a40_pair_cost):
+        assert a40_pair_cost.prefill_latency(2048) > a40_pair_cost.prefill_latency(512)
+
+    def test_decode_step_latency_monotone_in_batch(self, a40_pair_cost):
+        assert a40_pair_cost.decode_step_latency(32, 1024) > a40_pair_cost.decode_step_latency(1, 1024)
+
+    def test_decode_throughput_improves_with_batch(self, a40_pair_cost):
+        t1 = a40_pair_cost.decode_throughput(1024, batch_size=1)
+        t16 = a40_pair_cost.decode_throughput(1024, batch_size=16)
+        assert t16 > t1
+
+    def test_max_decode_batch_positive_and_bounded(self, a40_pair_cost):
+        batch = a40_pair_cost.max_decode_batch(1024)
+        assert 0 < batch <= CostModelParams().max_decode_batch
+
+    def test_max_decode_batch_shrinks_with_context(self, a40_pair_cost):
+        assert a40_pair_cost.max_decode_batch(4096) <= a40_pair_cost.max_decode_batch(512)
+
+    def test_kv_token_capacity_positive(self, a40_pair_cost):
+        assert a40_pair_cost.kv_token_capacity() > 0
+
+    def test_fits_in_memory(self, a40_pair_cost):
+        assert a40_pair_cost.fits_in_memory()
+
+    def test_decode_latency_scales_with_tokens(self, a40_pair_cost):
+        assert a40_pair_cost.decode_latency(4, 1024, 64) > a40_pair_cost.decode_latency(4, 1024, 16)
+
+    def test_pipeline_plan_adds_communication(self, small_hetero_cluster_module, model_30b_module):
+        cluster, model = small_hetero_cluster_module, model_30b_module
+        a40 = [g.gpu_id for g in cluster.gpus_of_type("A40")]
+        tp4 = ReplicaPlan.from_stage_lists([a40], [model.num_layers])
+        half = model.num_layers // 2
+        pp2 = ReplicaPlan.from_stage_lists([a40[:2], a40[2:]], [half, model.num_layers - half])
+        cost_tp = ReplicaCostModel(cluster, tp4, model)
+        cost_pp = ReplicaCostModel(cluster, pp2, model)
+        # Both are positive and finite; the PP plan pays an extra activation hop.
+        assert cost_pp.prefill_latency(1024) > 0
+        assert cost_tp.prefill_latency(1024) > 0
+
+
+class TestKVTransfer:
+    def test_bytes_scale_with_tokens_and_bits(self, model_30b):
+        full = kv_transfer_bytes(model_30b, 1024, bits=16)
+        quarter = kv_transfer_bytes(model_30b, 1024, bits=4)
+        assert quarter == pytest.approx(full / 4)
+        assert kv_transfer_bytes(model_30b, 2048, bits=16) == pytest.approx(2 * full)
+
+    def test_transfer_time_positive_across_groups(self, small_hetero_cluster_module, model_30b):
+        cluster = small_hetero_cluster_module
+        a40 = [g.gpu_id for g in cluster.gpus_of_type("A40")]
+        ti = [g.gpu_id for g in cluster.gpus_of_type("3090Ti")]
+        t = kv_transfer_seconds(cluster.network, a40, ti, model_30b, num_tokens=1024)
+        assert t > 0
+
+    def test_compression_reduces_transfer_time(self, small_hetero_cluster_module, model_30b):
+        cluster = small_hetero_cluster_module
+        a40 = [g.gpu_id for g in cluster.gpus_of_type("A40")]
+        ti = [g.gpu_id for g in cluster.gpus_of_type("3090Ti")]
+        full = kv_transfer_seconds(cluster.network, a40, ti, model_30b, 1024, bits=16)
+        compressed = kv_transfer_seconds(cluster.network, a40, ti, model_30b, 1024, bits=4)
+        assert compressed < full / 2
+
+    def test_overlapping_groups_transfer_free(self, small_hetero_cluster_module, model_30b):
+        cluster = small_hetero_cluster_module
+        a40 = [g.gpu_id for g in cluster.gpus_of_type("A40")]
+        assert kv_transfer_seconds(cluster.network, a40, a40, model_30b, 1024) == 0.0
+
+    def test_fraction(self):
+        assert kv_transfer_fraction(1.0, 2.0, 7.0) == pytest.approx(0.1)
+        assert kv_transfer_fraction(0.0, 0.0, 0.0) == 0.0
+
+
+class TestPrices:
+    def test_figure1_shape(self, model_30b):
+        assert cheapest_gpu_for_phase(model_30b, Phase.PREFILL, ["3090Ti", "A40"]) == "A40"
+        assert cheapest_gpu_for_phase(model_30b, Phase.DECODE, ["3090Ti", "A40"]) == "3090Ti"
+
+    def test_price_table_structure(self, model_30b):
+        table = phase_price_table(model_30b)
+        assert set(table) == {"prefill", "decode"}
+        assert set(table["prefill"]) == {"3090Ti", "A40"}
+
+    def test_prices_positive(self, model_30b):
+        assert phase_price_per_request("A5000", model_30b, Phase.PREFILL) > 0
+
+
+class TestReference:
+    def test_reference_latency_positive(self, model_30b, conversation_workload):
+        ref = a100_reference_latency(model_30b, conversation_workload)
+        assert ref.ttft > 0 and ref.tpot > 0
+
+    def test_slo_spec_scales(self, model_30b, conversation_workload):
+        ref = a100_reference_latency(model_30b, conversation_workload)
+        assert ref.slo_spec(4.0).e2e == pytest.approx(2 * ref.slo_spec(2.0).e2e)
+
+    def test_more_reference_gpus_lower_latency(self, model_30b, conversation_workload):
+        two = a100_reference_latency(model_30b, conversation_workload, num_reference_gpus=2)
+        eight = a100_reference_latency(model_30b, conversation_workload, num_reference_gpus=8)
+        assert eight.ttft < two.ttft

@@ -1,0 +1,105 @@
+"""Property-based tests for simulator conservation laws and workload generation."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.types import SLOType
+from repro.hardware.cluster import make_two_datacenter_cluster
+from repro.model.architecture import get_model_config
+from repro.simulation.engine import ServingSimulator, SimulatorConfig
+from repro.workload.generator import generate_requests
+from repro.workload.spec import WorkloadSpec
+
+
+CLUSTER = make_two_datacenter_cluster(inter_dc_gbps=5.0, seed=0)
+MODEL = get_model_config("llama-30b")
+
+
+def _plan():
+    from repro.core.types import Phase
+    from repro.costmodel.reference import a100_reference_latency
+    from repro.scheduling.lower_level import LowerLevelSolver
+    from repro.scheduling.solution import UpperLevelSolution
+    from repro.workload.spec import CONVERSATION_WORKLOAD
+
+    a40 = [g.gpu_id for g in CLUSTER.gpus_of_type("A40")]
+    ti = [g.gpu_id for g in CLUSTER.gpus_of_type("3090Ti")]
+    solution = UpperLevelSolution.from_lists([(a40, Phase.PREFILL), (ti, Phase.DECODE)])
+    solver = LowerLevelSolver(
+        cluster=CLUSTER,
+        model=MODEL,
+        workload=CONVERSATION_WORKLOAD,
+        slo=a100_reference_latency(MODEL, CONVERSATION_WORKLOAD).slo_spec(8.0),
+        request_rate=3.0,
+    )
+    return solver.solve(solution).plan
+
+
+PLAN = _plan()
+
+
+@given(
+    median_in=st.integers(64, 1024),
+    median_out=st.integers(2, 128),
+    rate=st.floats(0.5, 6.0),
+    seed=st.integers(0, 10_000),
+    num_requests=st.integers(5, 25),
+)
+@settings(max_examples=15, deadline=None)
+def test_simulator_conservation_laws(median_in, median_out, rate, seed, num_requests):
+    """Every admitted request finishes exactly once with causally-ordered timestamps."""
+    workload = WorkloadSpec(
+        name="prop",
+        median_input_length=float(median_in),
+        median_output_length=float(median_out),
+        input_sigma=0.3,
+        output_sigma=0.4,
+    )
+    trace = generate_requests(workload, rate, num_requests=num_requests, seed=seed)
+    result = ServingSimulator(CLUSTER, PLAN, MODEL, config=SimulatorConfig(seed=seed)).run(trace)
+    # Conservation: every request completes exactly once within the (unbounded) horizon.
+    assert result.num_finished == num_requests
+    ids = [m.request.request_id for m in result.metrics]
+    assert len(set(ids)) == num_requests
+    for metrics in result.metrics:
+        assert metrics.prefill_start + 1e-9 >= metrics.request.arrival_time
+        assert metrics.first_token_time >= metrics.prefill_start
+        assert metrics.completion_time + 1e-9 >= metrics.first_token_time
+        assert metrics.ttft >= 0 and metrics.tpot >= 0
+        assert metrics.ttft <= metrics.e2e_latency + 1e-9
+    assert result.makespan >= trace.duration - 1e-9
+
+
+@given(
+    rate=st.floats(0.5, 20.0),
+    seed=st.integers(0, 10_000),
+    duration=st.floats(5.0, 60.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_poisson_trace_statistics(rate, seed, duration):
+    """Generated traces have sorted arrivals inside the window and roughly the nominal rate."""
+    from repro.workload.spec import CODING_WORKLOAD
+
+    trace = generate_requests(CODING_WORKLOAD, rate, duration=duration, seed=seed)
+    arrivals = [r.arrival_time for r in trace]
+    assert arrivals == sorted(arrivals)
+    assert all(0.0 <= t < duration for t in arrivals)
+    expected = rate * duration
+    if expected >= 30:
+        assert 0.5 * expected < len(trace) < 1.6 * expected
+
+
+@given(seed=st.integers(0, 100))
+@settings(max_examples=10, deadline=None)
+def test_attainment_monotone_in_slo_scale(seed):
+    """Looser SLOs never reduce measured attainment."""
+    from repro.costmodel.reference import a100_reference_latency
+    from repro.workload.spec import CONVERSATION_WORKLOAD
+
+    trace = generate_requests(CONVERSATION_WORKLOAD, 3.0, num_requests=20, seed=seed)
+    result = ServingSimulator(CLUSTER, PLAN, MODEL, config=SimulatorConfig(seed=seed)).run(trace)
+    reference = a100_reference_latency(MODEL, CONVERSATION_WORKLOAD)
+    scales = [0.5, 1, 2, 4, 8, 16, 32]
+    curve = [result.slo_attainment(reference.slo_spec(s), SLOType.E2E) for s in scales]
+    assert all(b >= a for a, b in zip(curve, curve[1:]))
+    assert all(0.0 <= v <= 1.0 for v in curve)

@@ -1,0 +1,119 @@
+"""Tests for the tiny transformer and the KV-transport quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.quality.metrics import (
+    evaluate_kv_transport_quality,
+    next_token_agreement,
+    pseudo_perplexity,
+    rouge_l,
+    rouge_n,
+)
+from repro.quality.tiny_transformer import TinyTransformer, TinyTransformerConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_lm():
+    return TinyTransformer(TinyTransformerConfig(vocab_size=64, d_model=32, num_heads=4,
+                                                 num_layers=2, d_ff=64, max_seq_len=128, seed=0))
+
+
+class TestTinyTransformer:
+    def test_prefill_shapes(self, tiny_lm):
+        logits, cache = tiny_lm.prefill(np.arange(10) % 64)
+        assert logits.shape == (64,)
+        assert len(cache) == 2
+        assert cache[0][0].shape == (10, 32)
+
+    def test_decode_step_extends_cache(self, tiny_lm):
+        _, cache = tiny_lm.prefill(np.arange(10) % 64)
+        _, new_cache = tiny_lm.decode_step(5, 10, cache)
+        assert new_cache[0][0].shape[0] == 11
+
+    def test_incremental_decode_matches_full_prefill(self, tiny_lm):
+        """KV-cache decoding must equal recomputing the full sequence from scratch."""
+        tokens = (np.arange(12) * 7) % 64
+        logits_full, _ = tiny_lm.prefill(tokens)
+        logits_inc, cache = tiny_lm.prefill(tokens[:-1])
+        logits_inc, _ = tiny_lm.decode_step(int(tokens[-1]), 11, cache)
+        assert np.allclose(logits_full, logits_inc, atol=1e-4)
+
+    def test_generate_deterministic(self, tiny_lm):
+        prompt = np.arange(16) % 64
+        a, _ = tiny_lm.generate(prompt, 8)
+        b, _ = tiny_lm.generate(prompt, 8)
+        assert np.array_equal(a, b)
+
+    def test_exact_transport_is_identity(self, tiny_lm):
+        prompt = np.arange(16) % 64
+        exact, _ = tiny_lm.generate(prompt, 8, kv_transport_bits=None)
+        bits16, _ = tiny_lm.generate(prompt, 8, kv_transport_bits=16)
+        assert np.array_equal(exact, bits16)
+
+    def test_prompt_too_long_rejected(self, tiny_lm):
+        with pytest.raises(ValueError):
+            tiny_lm.prefill(np.zeros(500, dtype=int))
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            TinyTransformerConfig(d_model=30, num_heads=4)
+
+    def test_teacher_forced_predictions_length(self, tiny_lm):
+        prompt = np.arange(10) % 64
+        continuation = np.arange(6) % 64
+        predictions = tiny_lm.teacher_forced_predictions(prompt, continuation)
+        assert predictions.shape == (6,)
+
+    def test_sequence_logprobs_are_negative(self, tiny_lm):
+        prompt = np.arange(10) % 64
+        continuation = np.arange(5) % 64
+        logprobs = tiny_lm.sequence_logprobs(prompt, continuation)
+        assert logprobs.shape == (5,)
+        assert np.all(logprobs <= 0)
+
+
+class TestTextMetrics:
+    def test_rouge_identical(self):
+        assert rouge_n([1, 2, 3, 4], [1, 2, 3, 4], 1) == 1.0
+        assert rouge_n([1, 2, 3, 4], [1, 2, 3, 4], 2) == 1.0
+        assert rouge_l([1, 2, 3, 4], [1, 2, 3, 4]) == 1.0
+
+    def test_rouge_disjoint(self):
+        assert rouge_n([1, 2, 3], [4, 5, 6], 1) == 0.0
+        assert rouge_l([1, 2, 3], [4, 5, 6]) == 0.0
+
+    def test_rouge_partial_overlap(self):
+        assert 0.0 < rouge_n([1, 2, 3, 4], [1, 2, 9, 9], 1) < 1.0
+
+    def test_rouge_l_subsequence(self):
+        assert rouge_l([1, 2, 3, 4, 5], [1, 3, 5]) == pytest.approx(2 * 0.6 * 1.0 / 1.6)
+
+    def test_next_token_agreement(self):
+        assert next_token_agreement([1, 2, 3, 4], [1, 2, 9, 4]) == 0.75
+        assert next_token_agreement([], []) == 1.0
+
+    def test_pseudo_perplexity(self):
+        assert pseudo_perplexity(np.log(np.full(10, 0.5))) == pytest.approx(2.0)
+        assert np.isnan(pseudo_perplexity(np.array([])))
+
+
+class TestKVQualityEvaluation:
+    def test_16bit_equivalent_is_lossless(self):
+        report = evaluate_kv_transport_quality(bits=8, num_prompts=2, prompt_length=24,
+                                               generate_tokens=8, seed=0)
+        assert report.token_agreement == pytest.approx(1.0, abs=0.05)
+
+    def test_4bit_transport_preserves_most_decisions(self):
+        report = evaluate_kv_transport_quality(bits=4, num_prompts=3, prompt_length=32,
+                                               generate_tokens=12, seed=0)
+        assert report.token_agreement > 0.7
+        assert 0.8 < report.ppl_ratio < 1.25
+        assert report.rouge1 > 0.5
+
+    def test_report_fields_consistent(self):
+        report = evaluate_kv_transport_quality(bits=4, num_prompts=2, prompt_length=24,
+                                               generate_tokens=8, seed=1)
+        assert report.accuracy_drop == pytest.approx(1.0 - report.token_agreement)
+        assert report.bits == 4
+        assert report.num_prompts == 2

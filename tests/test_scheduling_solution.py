@@ -1,0 +1,155 @@
+"""Unit tests for upper-level solutions, clustering init and neighbourhood moves."""
+
+import pytest
+
+from repro.core.exceptions import InvalidPlanError
+from repro.core.types import Phase
+from repro.scheduling.clustering import initial_groups_by_clustering, minimum_group_size
+from repro.scheduling.neighbors import (
+    construct_neighbors,
+    flip_phase,
+    merge_groups,
+    move_gpus,
+    split_group,
+)
+from repro.scheduling.solution import GroupAssignment, UpperLevelSolution
+
+
+@pytest.fixture()
+def simple_solution(cloud_cluster):
+    ids = cloud_cluster.gpu_ids
+    return UpperLevelSolution.from_lists(
+        [
+            (ids[0:4], Phase.PREFILL),
+            (ids[4:8], Phase.DECODE),
+            (ids[8:16], Phase.PREFILL),
+        ]
+    )
+
+
+class TestSolution:
+    def test_counts(self, simple_solution):
+        assert simple_solution.num_groups == 3
+        assert simple_solution.num_prefill == 2
+        assert simple_solution.num_decode == 1
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(InvalidPlanError):
+            UpperLevelSolution.from_lists([([0, 1], Phase.PREFILL), ([1, 2], Phase.DECODE)])
+
+    def test_key_is_order_invariant(self):
+        a = UpperLevelSolution.from_lists([([0, 1], Phase.PREFILL), ([2, 3], Phase.DECODE)])
+        b = UpperLevelSolution.from_lists([([2, 3], Phase.DECODE), ([0, 1], Phase.PREFILL)])
+        assert a.key() == b.key()
+
+    def test_key_sensitive_to_phase(self):
+        a = UpperLevelSolution.from_lists([([0, 1], Phase.PREFILL), ([2, 3], Phase.DECODE)])
+        b = UpperLevelSolution.from_lists([([0, 1], Phase.DECODE), ([2, 3], Phase.DECODE)])
+        assert a.key() != b.key()
+
+    def test_replace_group_removal(self, simple_solution):
+        smaller = simple_solution.replace_group(0)
+        assert smaller.num_groups == 2
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(InvalidPlanError):
+            GroupAssignment(gpu_ids=frozenset(), phase=Phase.PREFILL)
+
+
+class TestClusteringInit:
+    def test_initial_solution_partitions_cluster(self, cloud_cluster, model_30b):
+        solution = initial_groups_by_clustering(cloud_cluster, model_30b, seed=0)
+        assert solution.all_gpu_ids == frozenset(cloud_cluster.gpu_ids)
+
+    def test_every_group_can_hold_model(self, cloud_cluster, model_30b):
+        from repro.parallelism.partition import group_can_hold_model
+
+        solution = initial_groups_by_clustering(cloud_cluster, model_30b, seed=0)
+        for group in solution.groups:
+            assert group_can_hold_model(cloud_cluster, group.gpu_ids, model_30b)
+
+    def test_both_phases_present(self, cloud_cluster, model_30b):
+        solution = initial_groups_by_clustering(cloud_cluster, model_30b, seed=1)
+        assert solution.num_prefill >= 1
+        assert solution.num_decode >= 1
+
+    def test_groups_avoid_cross_datacenter_links(self, model_30b):
+        from repro.hardware.cluster import make_two_datacenter_cluster
+
+        cluster = make_two_datacenter_cluster(inter_dc_gbps=0.625, seed=0)
+        solution = initial_groups_by_clustering(cluster, model_30b, seed=0, target_num_groups=2)
+        for group in solution.groups:
+            datacenters = {cluster.gpu(g).datacenter for g in group.gpu_ids}
+            assert len(datacenters) == 1
+
+    def test_minimum_group_size_reasonable(self, cloud_cluster, model_30b, tiny_model):
+        assert minimum_group_size(cloud_cluster, model_30b) >= 3
+        assert minimum_group_size(cloud_cluster, tiny_model) == 1
+
+    def test_deterministic_for_seed(self, cloud_cluster, model_30b):
+        a = initial_groups_by_clustering(cloud_cluster, model_30b, seed=3)
+        b = initial_groups_by_clustering(cloud_cluster, model_30b, seed=3)
+        assert a.key() == b.key()
+
+
+class TestNeighborMoves:
+    def test_flip_changes_exactly_one_phase(self, simple_solution):
+        flipped = flip_phase(simple_solution, rng=0)
+        differences = 0
+        for a, b in zip(simple_solution.canonical().groups, flipped.canonical().groups):
+            assert a.gpu_ids == b.gpu_ids
+            if a.phase is not b.phase:
+                differences += 1
+        assert differences == 1
+
+    def test_split_increases_group_count(self, simple_solution):
+        split = split_group(simple_solution, rng=0)
+        assert split is not None
+        assert split.num_groups == simple_solution.num_groups + 1
+        assert split.all_gpu_ids == simple_solution.all_gpu_ids
+
+    def test_merge_decreases_group_count(self, simple_solution):
+        merged = merge_groups(simple_solution, rng=0)
+        assert merged is not None
+        assert merged.num_groups == simple_solution.num_groups - 1
+        assert merged.all_gpu_ids == simple_solution.all_gpu_ids
+
+    def test_move_preserves_gpu_set(self, simple_solution, cloud_cluster):
+        moved = move_gpus(simple_solution, cloud_cluster, rng=0)
+        assert moved is not None
+        assert moved.all_gpu_ids == simple_solution.all_gpu_ids
+        assert moved.num_groups == simple_solution.num_groups
+
+    def test_split_none_for_singleton_groups(self):
+        solution = UpperLevelSolution.from_lists([([0], Phase.PREFILL), ([1], Phase.DECODE)])
+        assert split_group(solution, rng=0) is None
+
+    def test_merge_none_for_single_group(self):
+        solution = UpperLevelSolution.from_lists([([0, 1], Phase.PREFILL)])
+        assert merge_groups(solution, rng=0) is None
+
+
+class TestConstructNeighbors:
+    def test_neighbors_are_feasible_and_distinct(self, cloud_cluster, model_30b, simple_solution):
+        from repro.parallelism.partition import group_can_hold_model
+
+        neighbors = construct_neighbors(simple_solution, cloud_cluster, model_30b, num_neighbors=8, rng=0)
+        assert 1 <= len(neighbors) <= 8
+        keys = {n.key() for n in neighbors}
+        assert len(keys) == len(neighbors)
+        assert simple_solution.key() not in keys
+        for neighbor in neighbors:
+            for group in neighbor.groups:
+                assert group_can_hold_model(cloud_cluster, group.gpu_ids, model_30b)
+
+    def test_flip_only_mode_keeps_group_structure(self, cloud_cluster, model_30b, simple_solution):
+        neighbors = construct_neighbors(
+            simple_solution, cloud_cluster, model_30b, num_neighbors=5, rng=0, moves=["flip"]
+        )
+        original_groups = {g.gpu_ids for g in simple_solution.groups}
+        for neighbor in neighbors:
+            assert {g.gpu_ids for g in neighbor.groups} == original_groups
+
+    def test_unknown_move_rejected(self, cloud_cluster, model_30b, simple_solution):
+        with pytest.raises(ValueError):
+            construct_neighbors(simple_solution, cloud_cluster, model_30b, 3, moves=["teleport"])

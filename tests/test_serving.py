@@ -1,0 +1,149 @@
+"""Tests for the serving runtime: coordinator, heartbeat monitor and the ThunderServe facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Request
+from repro.scheduling.scheduler import SchedulerConfig
+from repro.scheduling.tabu import TabuSearchConfig
+from repro.serving.coordinator import RequestCoordinator
+from repro.serving.monitor import HeartbeatMonitor
+from repro.serving.system import ThunderServe
+from repro.workload.generator import generate_requests
+from repro.workload.spec import CONVERSATION_WORKLOAD
+
+
+def _request(i):
+    return Request(request_id=i, arrival_time=float(i), input_length=100, output_length=10)
+
+
+class TestCoordinator:
+    def test_realised_shares_follow_routing(self, small_plan):
+        coordinator = RequestCoordinator(small_plan)
+        counts = {}
+        for i in range(200):
+            prefill_id, _ = coordinator.assign(_request(i))
+            counts[prefill_id] = counts.get(prefill_id, 0) + 1
+        routing = small_plan.routing
+        for gid, planned in zip(routing.prefill_group_ids, routing.x):
+            realised = counts.get(gid, 0) / 200
+            assert realised == pytest.approx(planned, abs=0.05)
+
+    def test_decode_targets_valid(self, small_plan):
+        coordinator = RequestCoordinator(small_plan)
+        decode_ids = {g.group_id for g in small_plan.decode_groups}
+        for i in range(20):
+            _, decode_id = coordinator.assign(_request(i))
+            assert decode_id in decode_ids
+
+    def test_complete_releases_outstanding(self, small_plan):
+        coordinator = RequestCoordinator(small_plan)
+        prefill_id, _ = coordinator.assign(_request(0))
+        assert coordinator.outstanding(prefill_id) == 1
+        coordinator.complete(0)
+        assert coordinator.outstanding(prefill_id) == 0
+
+    def test_complete_unknown_raises(self, small_plan):
+        with pytest.raises(KeyError):
+            RequestCoordinator(small_plan).complete(123)
+
+    def test_update_routing_resets_deficits(self, small_plan):
+        coordinator = RequestCoordinator(small_plan)
+        for i in range(10):
+            coordinator.assign(_request(i))
+        coordinator.update_routing(small_plan.routing)
+        assert coordinator.num_dispatched == 10
+
+
+class TestHeartbeatMonitor:
+    def test_no_failure_when_heartbeats_flow(self):
+        monitor = HeartbeatMonitor([0, 1, 2], timeout_s=10.0)
+        monitor.heartbeat_all(5.0)
+        assert monitor.check(12.0) is None
+
+    def test_failure_detected_after_timeout(self):
+        monitor = HeartbeatMonitor([0, 1, 2], timeout_s=10.0)
+        monitor.heartbeat_all(5.0, except_ids=[2])
+        failure = monitor.check(12.0)
+        assert failure is not None
+        assert failure.gpu_ids == frozenset({2})
+        assert monitor.failed_gpu_ids == [2]
+
+    def test_failure_reported_once(self):
+        monitor = HeartbeatMonitor([0, 1], timeout_s=1.0)
+        assert monitor.check(5.0) is not None
+        assert monitor.check(6.0) is None
+
+    def test_recovery_on_new_heartbeat(self):
+        monitor = HeartbeatMonitor([0], timeout_s=1.0)
+        assert monitor.check(5.0) is not None
+        monitor.heartbeat(0, 6.0)
+        assert monitor.failed_gpu_ids == []
+
+    def test_unknown_gpu_rejected(self):
+        with pytest.raises(KeyError):
+            HeartbeatMonitor([0]).heartbeat(5, 1.0)
+
+
+@pytest.fixture(scope="module")
+def deployed_system():
+    from repro.hardware.cluster import make_two_datacenter_cluster
+    from repro.model.architecture import get_model_config
+
+    cluster = make_two_datacenter_cluster(inter_dc_gbps=5.0, seed=0)
+    model = get_model_config("llama-30b")
+    system = ThunderServe(
+        cluster,
+        model,
+        CONVERSATION_WORKLOAD,
+        request_rate=3.0,
+        scheduler_config=SchedulerConfig(
+            tabu=TabuSearchConfig(num_steps=6, num_neighbors=4, patience=4), seed=2
+        ),
+    )
+    system.deploy()
+    return system
+
+
+class TestThunderServeFacade:
+    def test_deploy_installs_plan(self, deployed_system):
+        assert deployed_system.plan is not None
+        assert deployed_system.coordinator is not None
+
+    def test_serve_before_deploy_raises(self):
+        from repro.hardware.cluster import make_two_datacenter_cluster
+        from repro.model.architecture import get_model_config
+
+        system = ThunderServe(
+            make_two_datacenter_cluster(seed=0),
+            get_model_config("llama-30b"),
+            CONVERSATION_WORKLOAD,
+            request_rate=1.0,
+        )
+        with pytest.raises(Exception):
+            system.require_plan()
+
+    def test_serve_trace(self, deployed_system):
+        trace = generate_requests(CONVERSATION_WORKLOAD, 2.0, num_requests=20, seed=5)
+        result = deployed_system.serve(trace)
+        assert result.num_finished == 20
+
+    def test_attainment_curve_monotone(self, deployed_system):
+        trace = generate_requests(CONVERSATION_WORKLOAD, 2.0, num_requests=20, seed=6)
+        result = deployed_system.serve(trace)
+        curve = deployed_system.attainment_curve(result, [1, 4, 16, 64])
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+
+    def test_gpu_failure_lightweight(self, deployed_system):
+        victim_group = deployed_system.plan.groups[-1]
+        victims = list(victim_group.gpu_ids)[:1]
+        plan = deployed_system.handle_gpu_failure(victims, mode="lightweight")
+        assert all(v not in plan.used_gpu_ids for v in victims)
+        # The system can still serve traffic afterwards.
+        trace = generate_requests(CONVERSATION_WORKLOAD, 2.0, num_requests=10, seed=7)
+        result = deployed_system.serve(trace)
+        assert result.num_finished == 10
+
+    def test_invalid_failure_mode_rejected(self, deployed_system):
+        with pytest.raises(ValueError):
+            deployed_system.handle_gpu_failure([0], mode="teleport")
