@@ -6,8 +6,11 @@ This walks through the whole ThunderServe pipeline in one script:
 2. run the two-level scheduling algorithm (tabu search + parallel-configuration
    deduction + orchestration LP) for the conversation workload,
 3. replay a Poisson request trace against the resulting deployment plan with the
-   discrete-event simulator, and
-4. report throughput, latency breakdown and SLO attainment.
+   discrete-event simulator,
+4. report throughput, latency breakdown and SLO attainment, and
+5. stress the same plan across the whole ``repro.scenarios`` library (diurnal
+   cycles, bursts, long-context RAG, agentic mixes, multi-tenant SLO tiers and
+   spot preemptions) with a concurrent :class:`ScenarioSweep`.
 
 Run with:  python examples/quickstart.py
 """
@@ -15,6 +18,7 @@ Run with:  python examples/quickstart.py
 from repro.core.types import SLOType
 from repro.hardware.cluster import make_cloud_cluster
 from repro.model.architecture import get_model_config
+from repro.scenarios import ScenarioSweep, default_scenarios
 from repro.scheduling.scheduler import Scheduler, SchedulerConfig
 from repro.scheduling.tabu import TabuSearchConfig
 from repro.serving.system import ThunderServe
@@ -79,6 +83,17 @@ def main() -> None:
         ["slo_scale", "ttft_attainment", "tpot_attainment", "e2e_attainment"], rows,
         title="SLO attainment vs SLO scale",
     ))
+
+    # ------------------------------------------------------------- scenario sweep
+    # The same plan, stressed across every named scenario in repro.scenarios.
+    # Scenarios run concurrently (each on its own ThunderServe instance); the
+    # spot-preemption scenario additionally exercises lightweight rescheduling.
+    sweep = ScenarioSweep(default_scenarios(duration=30.0), seed=0)
+    outcomes = sweep.evaluate(cluster, model, plan)
+    print("\n" + ScenarioSweep.to_table(outcomes))
+    tenants = outcomes["multi-tenant"].per_tenant_attainment
+    print("Per-tenant E2E attainment at each tier's own SLO: "
+          + ", ".join(f"{t}={a:.2f}" for t, a in tenants.items()))
 
 
 if __name__ == "__main__":

@@ -25,6 +25,9 @@ simulated substrate:
   scheduler and as the evaluation testbed.
 * :mod:`repro.serving` — the ThunderServe runtime facade (coordinator, dispatcher,
   monitor, rescheduling loop).
+* :mod:`repro.scenarios` — named workload scenarios (diurnal, bursty, RAG,
+  agentic mix, multi-tenant SLO tiers, spot preemption) and the concurrent
+  cross-scenario sweep runner.
 * :mod:`repro.baselines` — HexGen-like, DistServe-like and vLLM-like baselines.
 * :mod:`repro.quality` — tiny NumPy transformer used to evaluate KV transport
   quantization quality.
@@ -89,4 +92,8 @@ def __getattr__(name: str):  # pragma: no cover - thin convenience shim
         from repro.serving.system import ThunderServe
 
         return ThunderServe
+    if name in {"ScenarioSweep", "Scenario"}:
+        from repro.scenarios import Scenario, ScenarioSweep
+
+        return {"ScenarioSweep": ScenarioSweep, "Scenario": Scenario}[name]
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,333 @@
+"""The built-in scenario library.
+
+Six named, parameterized scenarios covering the operating conditions a
+production phase-splitting deployment actually meets:
+
+* :class:`DiurnalTrafficScenario` — a compressed day/night sinusoidal load cycle;
+* :class:`BurstySpikesScenario` — steady traffic punctuated by short spikes;
+* :class:`LongContextRAGScenario` — retrieval-augmented prompts (very long
+  inputs, moderate outputs) that stress prefill and KV transfer;
+* :class:`AgenticCodingMixScenario` — an agentic mix of coding and conversation
+  turns, the workload-shift situation of §3.4;
+* :class:`MultiTenantSLOTiersScenario` — gold/silver/bronze tenants sharing the
+  fleet under different SLO tiers;
+* :class:`SpotPreemptionScenario` — steady traffic with spot-instance
+  preemptions injected mid-run (the Figure 11 failure situation).
+
+All scenarios are frozen dataclasses: parameterize by constructing with different
+field values, and rely on :meth:`~repro.scenarios.base.Scenario.build_trace`
+being deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import ClassVar, Dict, Tuple
+
+from repro.core.rng import RNGLike, ensure_rng, spawn_rng
+from repro.scenarios.base import FailureEvent, Scenario, thinned_poisson_trace
+from repro.workload.generator import PoissonArrivalGenerator
+from repro.workload.spec import CODING_WORKLOAD, CONVERSATION_WORKLOAD, WorkloadSpec
+from repro.workload.trace import Trace, merge_traces
+
+
+#: Retrieval-augmented generation: prompts carry several retrieved passages, so
+#: inputs are several times longer than plain conversation while outputs stay
+#: moderate — the most prefill- and KV-transfer-heavy shape in the library.
+RAG_WORKLOAD = WorkloadSpec(
+    name="rag",
+    median_input_length=3072.0,
+    median_output_length=160.0,
+    input_sigma=0.25,
+    output_sigma=0.5,
+    max_input_length=8192,
+)
+
+
+@dataclass(frozen=True)
+class DiurnalTrafficScenario(Scenario):
+    """A day/night load cycle compressed into the trace duration.
+
+    The arrival rate follows ``base + (peak - base) * (1 - cos(2*pi*t/T)) / 2``:
+    it starts at the overnight trough, peaks mid-trace and returns to the trough,
+    like one diurnal period of a consumer-facing service.  ``request_rate`` is
+    the *peak* rate — the figure capacity must be planned for.
+    """
+
+    name: ClassVar[str] = "diurnal"
+    description: ClassVar[str] = "sinusoidal day/night traffic cycle"
+
+    request_rate: float = 6.0
+    duration: float = 120.0
+    trough_fraction: float = 0.25
+    workload: WorkloadSpec = CONVERSATION_WORKLOAD
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.trough_fraction <= 1:
+            raise ValueError("trough_fraction must be in [0, 1]")
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at trace time ``t``."""
+        trough = self.trough_fraction * self.request_rate
+        swing = self.request_rate - trough
+        return trough + swing * (1.0 - math.cos(2.0 * math.pi * t / self.duration)) / 2.0
+
+    def build_trace(self, seed: RNGLike = None) -> Trace:
+        return thinned_poisson_trace(
+            self.workload, self.rate_at, self.request_rate, self.duration,
+            seed=seed, name=self.name,
+        )
+
+    def planning_workload(self) -> WorkloadSpec:
+        return self.workload
+
+
+@dataclass(frozen=True)
+class BurstySpikesScenario(Scenario):
+    """Steady traffic punctuated by short high-rate spikes.
+
+    ``request_rate`` is the baseline; ``num_bursts`` evenly spaced bursts each
+    multiply it by ``burst_multiplier`` for ``burst_fraction`` of the burst
+    period — a flash-crowd / retry-storm shape that stresses queueing headroom.
+    """
+
+    name: ClassVar[str] = "bursty"
+    description: ClassVar[str] = "steady load with short flash-crowd spikes"
+
+    request_rate: float = 4.0
+    duration: float = 120.0
+    burst_multiplier: float = 3.0
+    num_bursts: int = 3
+    burst_fraction: float = 0.12
+    workload: WorkloadSpec = CONVERSATION_WORKLOAD
+
+    def __post_init__(self) -> None:
+        if self.burst_multiplier < 1:
+            raise ValueError("burst_multiplier must be >= 1")
+        if self.num_bursts < 1:
+            raise ValueError("num_bursts must be >= 1")
+        if not 0 < self.burst_fraction < 1:
+            raise ValueError("burst_fraction must be in (0, 1)")
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at trace time ``t``."""
+        period = self.duration / self.num_bursts
+        phase = (t % period) / period
+        in_burst = phase < self.burst_fraction
+        return self.request_rate * (self.burst_multiplier if in_burst else 1.0)
+
+    def build_trace(self, seed: RNGLike = None) -> Trace:
+        return thinned_poisson_trace(
+            self.workload, self.rate_at, self.request_rate * self.burst_multiplier,
+            self.duration, seed=seed, name=self.name,
+        )
+
+    def planning_workload(self) -> WorkloadSpec:
+        return self.workload
+
+
+@dataclass(frozen=True)
+class LongContextRAGScenario(Scenario):
+    """Retrieval-augmented generation: very long prompts, moderate outputs."""
+
+    name: ClassVar[str] = "long-context-rag"
+    description: ClassVar[str] = "long retrieved-context prompts (prefill heavy)"
+
+    request_rate: float = 2.0
+    duration: float = 120.0
+    workload: WorkloadSpec = RAG_WORKLOAD
+
+    def build_trace(self, seed: RNGLike = None) -> Trace:
+        gen = PoissonArrivalGenerator(self.workload, self.request_rate, seed=seed)
+        trace = gen.generate(duration=self.duration)
+        return Trace(requests=trace.requests, name=self.name)
+
+    def planning_workload(self) -> WorkloadSpec:
+        return self.workload
+
+
+@dataclass(frozen=True)
+class AgenticCodingMixScenario(Scenario):
+    """An agent loop interleaving coding turns with conversational turns.
+
+    Coding turns dominate by ``coding_fraction``; the remainder are conversation
+    turns.  The resulting prefill:decode demand sits between the two pure
+    workloads and drifts with the mix — the §3.4 workload-shift situation.
+    """
+
+    name: ClassVar[str] = "agentic-mix"
+    description: ClassVar[str] = "agentic coding/conversation request mix"
+
+    request_rate: float = 5.0
+    duration: float = 120.0
+    coding_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not 0 < self.coding_fraction < 1:
+            raise ValueError("coding_fraction must be in (0, 1)")
+
+    def build_trace(self, seed: RNGLike = None) -> Trace:
+        rng = ensure_rng(seed)
+        coding_rng, conv_rng = spawn_rng(rng, 2)
+        coding = PoissonArrivalGenerator(
+            CODING_WORKLOAD, self.request_rate * self.coding_fraction, seed=coding_rng
+        ).generate(duration=self.duration)
+        conversation = PoissonArrivalGenerator(
+            CONVERSATION_WORKLOAD, self.request_rate * (1.0 - self.coding_fraction),
+            seed=conv_rng,
+        ).generate(duration=self.duration)
+        return merge_traces([coding, conversation], name=self.name)
+
+    def planning_workload(self) -> WorkloadSpec:
+        """Mix-weighted medians: the single spec the scheduler plans the blend with."""
+        f = self.coding_fraction
+        return WorkloadSpec(
+            name=self.name,
+            median_input_length=(
+                f * CODING_WORKLOAD.median_input_length
+                + (1 - f) * CONVERSATION_WORKLOAD.median_input_length
+            ),
+            median_output_length=(
+                f * CODING_WORKLOAD.median_output_length
+                + (1 - f) * CONVERSATION_WORKLOAD.median_output_length
+            ),
+            input_sigma=max(CODING_WORKLOAD.input_sigma, CONVERSATION_WORKLOAD.input_sigma),
+            output_sigma=max(CODING_WORKLOAD.output_sigma, CONVERSATION_WORKLOAD.output_sigma),
+        )
+
+
+@dataclass(frozen=True)
+class TenantTier:
+    """One tenant class of the multi-tenant scenario."""
+
+    tenant: str
+    workload: WorkloadSpec
+    share: float
+    slo_scale: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.share <= 1:
+            raise ValueError("share must be in (0, 1]")
+        if self.slo_scale <= 0:
+            raise ValueError("slo_scale must be positive")
+
+
+#: Default gold/silver/bronze split: a latency-sensitive interactive tier, a
+#: standard tier and a batch-ish tier with a loose deadline.
+DEFAULT_TIERS: Tuple[TenantTier, ...] = (
+    TenantTier("gold", CONVERSATION_WORKLOAD, share=0.2, slo_scale=3.0),
+    TenantTier("silver", CONVERSATION_WORKLOAD, share=0.5, slo_scale=5.0),
+    TenantTier("bronze", CODING_WORKLOAD, share=0.3, slo_scale=8.0),
+)
+
+
+@dataclass(frozen=True)
+class MultiTenantSLOTiersScenario(Scenario):
+    """Several tenants share the fleet, each under its own SLO tier.
+
+    Requests are tagged ``"tenant:<name>"`` so per-tier attainment can be
+    reported separately; the scenario-level :meth:`slo_scale` is the tightest
+    tier's, since that is the contract hardest to keep.
+    """
+
+    name: ClassVar[str] = "multi-tenant"
+    description: ClassVar[str] = "gold/silver/bronze tenants with distinct SLO tiers"
+
+    request_rate: float = 5.0
+    duration: float = 120.0
+    tiers: Tuple[TenantTier, ...] = DEFAULT_TIERS
+
+    def __post_init__(self) -> None:
+        if not self.tiers:
+            raise ValueError("at least one tenant tier is required")
+        total = sum(t.share for t in self.tiers)
+        if not math.isclose(total, 1.0, rel_tol=1e-6):
+            raise ValueError(f"tenant shares must sum to 1, got {total:g}")
+        if len({t.tenant for t in self.tiers}) != len(self.tiers):
+            raise ValueError("tenant names must be unique")
+
+    def tier_slo_scales(self) -> Dict[str, float]:
+        """Per-tenant SLO scale keyed by tenant name."""
+        return {t.tenant: t.slo_scale for t in self.tiers}
+
+    def build_trace(self, seed: RNGLike = None) -> Trace:
+        rng = ensure_rng(seed)
+        rngs = spawn_rng(rng, len(self.tiers))
+        traces = []
+        for tier, tier_rng in zip(self.tiers, rngs):
+            spec = tier.workload.with_name(f"tenant:{tier.tenant}")
+            gen = PoissonArrivalGenerator(spec, self.request_rate * tier.share, seed=tier_rng)
+            traces.append(gen.generate(duration=self.duration))
+        return merge_traces(traces, name=self.name)
+
+    def planning_workload(self) -> WorkloadSpec:
+        """Share-weighted medians across the tenant mix."""
+        return WorkloadSpec(
+            name=self.name,
+            median_input_length=sum(t.share * t.workload.median_input_length for t in self.tiers),
+            median_output_length=sum(t.share * t.workload.median_output_length for t in self.tiers),
+            input_sigma=max(t.workload.input_sigma for t in self.tiers),
+            output_sigma=max(t.workload.output_sigma for t in self.tiers),
+        )
+
+    def slo_scale(self) -> float:
+        return min(t.slo_scale for t in self.tiers)
+
+
+@dataclass(frozen=True)
+class SpotPreemptionScenario(Scenario):
+    """Steady traffic with spot-instance preemptions injected mid-run.
+
+    At each preemption fraction of the trace, ``gpus_per_preemption`` GPUs are
+    reclaimed; the serving system must absorb the loss with lightweight
+    rescheduling (Figure 11).  Victims are chosen by the sweep at event time from
+    whatever is still alive, mirroring how providers reclaim spot capacity.
+    """
+
+    name: ClassVar[str] = "spot-preemption"
+    description: ClassVar[str] = "spot-instance GPU preemptions mid-run"
+
+    request_rate: float = 4.0
+    duration: float = 120.0
+    preemption_fractions: Tuple[float, ...] = (0.4, 0.7)
+    gpus_per_preemption: int = 2
+    workload: WorkloadSpec = CONVERSATION_WORKLOAD
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_preemption < 1:
+            raise ValueError("gpus_per_preemption must be >= 1")
+        for f in self.preemption_fractions:
+            if not 0 < f < 1:
+                raise ValueError("preemption fractions must be in (0, 1)")
+
+    def build_trace(self, seed: RNGLike = None) -> Trace:
+        gen = PoissonArrivalGenerator(self.workload, self.request_rate, seed=seed)
+        trace = gen.generate(duration=self.duration)
+        return Trace(requests=trace.requests, name=self.name)
+
+    def planning_workload(self) -> WorkloadSpec:
+        return self.workload
+
+    def failure_schedule(self) -> Tuple[FailureEvent, ...]:
+        return tuple(
+            FailureEvent(
+                time=f * self.duration,
+                num_gpus=self.gpus_per_preemption,
+                description=f"spot preemption at {f:.0%} of the trace",
+            )
+            for f in sorted(self.preemption_fractions)
+        )
+
+
+__all__ = [
+    "RAG_WORKLOAD",
+    "DEFAULT_TIERS",
+    "TenantTier",
+    "DiurnalTrafficScenario",
+    "BurstySpikesScenario",
+    "LongContextRAGScenario",
+    "AgenticCodingMixScenario",
+    "MultiTenantSLOTiersScenario",
+    "SpotPreemptionScenario",
+]

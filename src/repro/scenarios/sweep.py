@@ -1,0 +1,249 @@
+"""ScenarioSweep: evaluate one deployment plan across the whole scenario library.
+
+The sweep schedules once (or adopts a caller-provided plan) and then serves every
+scenario concurrently on its own :class:`~repro.serving.system.ThunderServe`
+instance via ``concurrent.futures`` — scenarios are independent simulations over
+immutable shared inputs (cluster, model, plan), so thread-level parallelism is
+safe.  Failure-injection scenarios are served window-by-window, applying each
+:class:`~repro.scenarios.base.FailureEvent` with lightweight rescheduling between
+windows, and the per-window results are merged into one scenario outcome.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.rng import ensure_rng
+from repro.core.types import SLOType
+from repro.costmodel.latency import CostModelParams, DEFAULT_PARAMS
+from repro.costmodel.reference import a100_reference_latency
+from repro.hardware.cluster import Cluster
+from repro.model.architecture import ModelConfig
+from repro.scenarios.base import Scenario
+from repro.scenarios.library import MultiTenantSLOTiersScenario
+from repro.scenarios.registry import default_scenarios
+from repro.scheduling.deployment import DeploymentPlan
+from repro.scheduling.scheduler import SchedulerConfig
+from repro.serving.system import ThunderServe
+from repro.simulation.engine import SimulatorConfig
+from repro.simulation.metrics import SimulationResult, merge_results
+from repro.utils.tables import format_table
+from repro.workload.trace import Trace
+
+
+@dataclass
+class ScenarioOutcome:
+    """Aggregate result of serving one scenario with one deployment plan."""
+
+    scenario: str
+    description: str
+    num_requests: int
+    num_finished: int
+    slo_scale: float
+    attainment_e2e: float
+    attainment_ttft: float
+    attainment_tpot: float
+    output_token_throughput: float
+    mean_e2e: float
+    num_plan_changes: int
+    elapsed_s: float
+    #: per-tenant E2E attainment at each tenant's own SLO tier (multi-tenant only)
+    per_tenant_attainment: Dict[str, float] = field(default_factory=dict)
+    #: the merged simulation result, for downstream analysis
+    result: Optional[SimulationResult] = None
+
+
+class ScenarioSweep:
+    """Run a library of scenarios against one deployment plan, concurrently.
+
+    Parameters
+    ----------
+    scenarios:
+        The scenarios to run; defaults to one instance of every registered
+        scenario (:func:`~repro.scenarios.registry.default_scenarios`).
+    seed:
+        Base seed; each scenario derives its own deterministic stream from it.
+    max_workers:
+        Thread-pool width (defaults to one thread per scenario).
+    scheduler_config, simulator_config, params:
+        Forwarded to the per-scenario serving systems.
+    """
+
+    def __init__(
+        self,
+        scenarios: Optional[Sequence[Scenario]] = None,
+        seed: int = 0,
+        max_workers: Optional[int] = None,
+        scheduler_config: Optional[SchedulerConfig] = None,
+        simulator_config: Optional[SimulatorConfig] = None,
+        params: CostModelParams = DEFAULT_PARAMS,
+    ) -> None:
+        self.scenarios: Tuple[Scenario, ...] = (
+            tuple(scenarios) if scenarios is not None else default_scenarios()
+        )
+        if not self.scenarios:
+            raise ValueError("at least one scenario is required")
+        names = [s.name for s in self.scenarios]
+        if len(set(names)) != len(names):
+            raise ValueError(f"scenario names must be unique, got {names}")
+        self.seed = seed
+        self.max_workers = max_workers
+        self.scheduler_config = scheduler_config
+        self.simulator_config = simulator_config
+        self.params = params
+
+    # ------------------------------------------------------------------ seeds
+    def _derive_seed(self, text: str, salt: str) -> int:
+        """Deterministic seed from the sweep seed and a label, per purpose."""
+        digest = zlib.crc32(f"{salt}:{text}".encode())
+        return (self.seed * 1000003 + digest) % (2**31 - 1)
+
+    def _scenario_seed(self, scenario: Scenario) -> int:
+        """Per-scenario trace seed, independent of sweep composition."""
+        return self._derive_seed(scenario.name, "trace")
+
+    # ------------------------------------------------------------------ evaluate
+    def evaluate(
+        self,
+        cluster: Cluster,
+        model: ModelConfig,
+        plan: DeploymentPlan,
+    ) -> Dict[str, ScenarioOutcome]:
+        """Serve every scenario with ``plan`` and return outcomes keyed by name."""
+        workers = self.max_workers or len(self.scenarios)
+        with ThreadPoolExecutor(max_workers=max(1, workers)) as pool:
+            futures = {
+                scenario.name: pool.submit(self._run_one, scenario, cluster, model, plan)
+                for scenario in self.scenarios
+            }
+            return {name: fut.result() for name, fut in futures.items()}
+
+    def _build_system(
+        self, scenario: Scenario, cluster: Cluster, model: ModelConfig
+    ) -> ThunderServe:
+        workload = scenario.planning_workload()
+        # The scenario's own SLO tier must govern any mid-run rescheduling, not
+        # ThunderServe's default 5x reference scale.
+        slo = a100_reference_latency(model, workload, params=self.params).slo_spec(
+            scenario.slo_scale()
+        )
+        return ThunderServe(
+            cluster,
+            model,
+            workload,
+            scenario.request_rate,
+            slo=slo,
+            scheduler_config=self.scheduler_config,
+            simulator_config=self.simulator_config,
+            params=self.params,
+        )
+
+    def _run_one(
+        self,
+        scenario: Scenario,
+        cluster: Cluster,
+        model: ModelConfig,
+        plan: DeploymentPlan,
+    ) -> ScenarioOutcome:
+        start = time.perf_counter()
+        trace = scenario.build_trace(seed=self._scenario_seed(scenario))
+        system = self._build_system(scenario, cluster, model)
+        system.adopt_plan(plan, reason=f"scenario sweep: {scenario.name}")
+
+        events = sorted(scenario.failure_schedule(), key=lambda e: e.time)
+        if not events:
+            result = system.serve(trace, label=scenario.name)
+        else:
+            result = self._serve_with_failures(system, trace, events, scenario.name)
+
+        slo = system.reference.slo_spec(scenario.slo_scale())
+        per_tenant: Dict[str, float] = {}
+        if isinstance(scenario, MultiTenantSLOTiersScenario):
+            per_tenant = self._tenant_attainment(scenario, result, model)
+        plan_changes = sum(1 for e in system.events if e.kind == "plan_installed") - 1
+        return ScenarioOutcome(
+            scenario=scenario.name,
+            description=scenario.description,
+            num_requests=result.num_requests,
+            num_finished=result.num_finished,
+            slo_scale=scenario.slo_scale(),
+            attainment_e2e=result.slo_attainment(slo, SLOType.E2E),
+            attainment_ttft=result.slo_attainment(slo, SLOType.TTFT),
+            attainment_tpot=result.slo_attainment(slo, SLOType.TPOT),
+            output_token_throughput=result.output_token_throughput,
+            mean_e2e=result.mean(SLOType.E2E),
+            num_plan_changes=plan_changes,
+            elapsed_s=time.perf_counter() - start,
+            per_tenant_attainment=per_tenant,
+            result=result,
+        )
+
+    def _serve_with_failures(
+        self, system: ThunderServe, trace: Trace, events, label: str
+    ) -> SimulationResult:
+        """Serve a trace window-by-window, applying preemptions between windows."""
+        rng = ensure_rng(self._derive_seed(label, "failures"))
+        results: List[SimulationResult] = []
+        window_start = float("-inf")
+        for k, event in enumerate(events):
+            window = trace.window(window_start, event.time)
+            if not window.is_empty:
+                results.append(system.serve(window, label=f"{label}[{k}]"))
+            alive = sorted(system.cluster.gpu_ids)
+            if event.gpu_ids is not None:
+                victims = [g for g in event.gpu_ids if g in alive]
+            else:
+                count = min(event.num_gpus, max(0, len(alive) - 1))
+                victims = [int(g) for g in rng.choice(alive, size=count, replace=False)]
+            if victims:
+                system.handle_gpu_failure(victims, mode="lightweight")
+            window_start = event.time
+        tail = trace.window(window_start, float("inf"))
+        if not tail.is_empty:
+            results.append(system.serve(tail, label=f"{label}[tail]"))
+        return merge_results(results, label=label)
+
+    def _tenant_attainment(
+        self,
+        scenario: MultiTenantSLOTiersScenario,
+        result: SimulationResult,
+        model: ModelConfig,
+    ) -> Dict[str, float]:
+        """E2E attainment of each tenant's requests at its own SLO tier."""
+        per_tenant: Dict[str, float] = {}
+        for tier in scenario.tiers:
+            tag = f"tenant:{tier.tenant}"
+            metrics = [m for m in result.metrics if m.request.workload == tag]
+            if not metrics:
+                per_tenant[tier.tenant] = 0.0
+                continue
+            reference = a100_reference_latency(model, tier.workload, params=self.params)
+            slo = reference.slo_spec(tier.slo_scale)
+            hits = sum(1 for m in metrics if slo.is_met(m, SLOType.E2E))
+            per_tenant[tier.tenant] = hits / len(metrics)
+        return per_tenant
+
+    # ------------------------------------------------------------------ reporting
+    @staticmethod
+    def to_table(outcomes: Dict[str, ScenarioOutcome], precision: int = 3) -> str:
+        """Render sweep outcomes as an aligned text table."""
+        headers = [
+            "scenario", "requests", "finished", "slo_scale",
+            "att_e2e", "att_ttft", "att_tpot", "tok/s", "plan_changes",
+        ]
+        rows = [
+            [
+                o.scenario, o.num_requests, o.num_finished, o.slo_scale,
+                o.attainment_e2e, o.attainment_ttft, o.attainment_tpot,
+                o.output_token_throughput, o.num_plan_changes,
+            ]
+            for _, o in sorted(outcomes.items())
+        ]
+        return format_table(headers, rows, precision=precision, title="Scenario sweep")
+
+
+__all__ = ["ScenarioSweep", "ScenarioOutcome"]

@@ -12,12 +12,19 @@ the workload's prompt- and response-length distributions) and, for each
 (prefill i, decode j) pair, computes TTFT, KV-transfer time, TPOT and E2E latency
 of every grid point.  The fraction of grid probability mass meeting the SLO
 deadline is the pair's estimated attainment ``D_ij``.
+
+The grid evaluation is fully vectorized: the roofline cost model is invoked only
+once per *distinct* grid length per replica (those per-replica latency vectors are
+cached across calls, keyed by the replica's structural identity), and the
+(m, n, grid) latency tensor is assembled and thresholded with numpy.  The
+pre-vectorization scalar implementation is retained as
+:meth:`SLOEstimator.attainment_matrix_reference` — it is the ground truth the
+property tests and the ``bench_scenario_sweep`` micro-benchmark compare against.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -27,8 +34,25 @@ from repro.costmodel.kv_transfer import kv_transfer_seconds
 from repro.costmodel.latency import CostModelParams, DEFAULT_PARAMS, ReplicaCostModel
 from repro.hardware.cluster import Cluster
 from repro.model.architecture import ModelConfig
+from repro.model.memory import kv_cache_bytes_per_token
 from repro.scheduling.deployment import ServingGroup
 from repro.workload.spec import WorkloadSpec
+
+
+#: Structural identity of a serving group: the GPU set, the phase and the parallel
+#: plan's stage layout.  Two groups with the same key have identical cost models
+#: regardless of their ``group_id``, so cached performance figures can be shared
+#: across tabu-search candidates that reuse the same group.
+PerfKey = Tuple[Tuple[int, ...], Phase, Tuple[Tuple[Tuple[int, ...], int, int], ...]]
+
+
+def _perf_key(group: ServingGroup) -> PerfKey:
+    if group.plan is None:
+        raise ValueError(f"group {group.group_id} has no parallel plan")
+    plan_sig = tuple(
+        (tuple(stage.gpu_ids), stage.num_layers, stage.tp) for stage in group.plan.stages
+    )
+    return (tuple(sorted(group.gpu_ids)), group.phase, plan_sig)
 
 
 @dataclass
@@ -140,6 +164,16 @@ class SLOEstimator:
         self.mean_input = max(1, int(round(workload.mean_input_length)))
         self.mean_output = max(1, int(round(workload.mean_output_length)))
         self._grid = self._build_grid(num_quantiles)
+        self._init_grid_arrays()
+        # Caches keyed by a replica's structural identity (PerfKey).  The tabu
+        # search revisits the same serving groups in many candidate solutions, so
+        # the expensive cost-model evaluations are shared across iterations.
+        self._perf_cache: Dict[PerfKey, ReplicaPerformance] = {}
+        self._prefill_grid_cache: Dict[PerfKey, np.ndarray] = {}
+        self._decode_grid_cache: Dict[Tuple[PerfKey, int], np.ndarray] = {}
+        self._link_cache: Dict[
+            Tuple[Tuple[int, ...], Tuple[int, ...]], Optional[Tuple[float, float]]
+        ] = {}
 
     # ------------------------------------------------------------------ grid
     def _build_grid(self, num_quantiles: int) -> List[Tuple[float, int, int]]:
@@ -168,11 +202,56 @@ class SLOEstimator:
                 grid.append((weight, int(round(s_in)), int(round(s_out))))
         return grid
 
+    def _init_grid_arrays(self) -> None:
+        """Precompute the vectorized views of the evaluation grid."""
+        self._weights = np.array([w for w, _, _ in self._grid])
+        self._weight_sum = float(np.sum(self._weights))
+        self._s_ins = np.array([s for _, s, _ in self._grid], dtype=np.int64)
+        self._s_outs = np.array([o for _, _, o in self._grid], dtype=np.int64)
+        # Grid latencies only depend on the *distinct* lengths: map every grid
+        # point to its index in the distinct-value vectors so per-replica latency
+        # vectors are computed once per distinct value and gathered with fancy
+        # indexing.
+        self._distinct_inputs = sorted(set(int(s) for s in self._s_ins))
+        input_pos = {s: k for k, s in enumerate(self._distinct_inputs)}
+        self._input_idx = np.array([input_pos[int(s)] for s in self._s_ins])
+        ctxs = [int(s + o // 2) for s, o in zip(self._s_ins, self._s_outs)]
+        self._distinct_ctxs = sorted(set(ctxs))
+        ctx_pos = {c: k for k, c in enumerate(self._distinct_ctxs)}
+        self._ctx_idx = np.array([ctx_pos[c] for c in ctxs])
+        self._out_factor = np.maximum(0, self._s_outs - 1)
+        #: KV-cache bytes shipped per prompt token at the transport precision.
+        self._kv_bytes_per_token = kv_cache_bytes_per_token(
+            self.model, bits=self.kv_transport_bits
+        )
+        #: transfer volume per distinct prompt length
+        self._kv_volume = self._kv_bytes_per_token * np.array(
+            self._distinct_inputs, dtype=float
+        )
+
     # ------------------------------------------------------------------ replicas
     def replica_performance(self, group: ServingGroup) -> ReplicaPerformance:
-        """Build the cached performance view of one serving group."""
+        """Build (or fetch) the cached performance view of one serving group.
+
+        Memoised on the group's structural identity (GPU set, phase, stage
+        layout) — ``group_id`` is free to differ between candidate solutions, so
+        the cached figures are re-wrapped around the requesting group.
+        """
         if group.plan is None:
             raise ValueError(f"group {group.group_id} has no parallel plan")
+        key = _perf_key(group)
+        cached = self._perf_cache.get(key)
+        if cached is not None:
+            if cached.group is group:
+                return cached
+            return ReplicaPerformance(
+                group=group,
+                cost=cached.cost,
+                prefill_service_s=cached.prefill_service_s,
+                prefill_capacity_rps=cached.prefill_capacity_rps,
+                decode_max_batch=cached.decode_max_batch,
+                decode_token_capacity=cached.decode_token_capacity,
+            )
         cost = ReplicaCostModel(self.cluster, group.plan, self.model, self.params)
         prefill_service = cost.prefill_latency(self.mean_input, batch_size=1)
         prefill_capacity = self.target_utilization / prefill_service
@@ -183,7 +262,7 @@ class SLOEstimator:
             if max_batch > 0
             else 0.0
         )
-        return ReplicaPerformance(
+        perf = ReplicaPerformance(
             group=group,
             cost=cost,
             prefill_service_s=prefill_service,
@@ -191,6 +270,61 @@ class SLOEstimator:
             decode_max_batch=max_batch,
             decode_token_capacity=token_capacity,
         )
+        self._perf_cache[key] = perf
+        return perf
+
+    # ------------------------------------------------------------------ cached grids
+    def _prefill_grid(self, perf: ReplicaPerformance) -> np.ndarray:
+        """Prefill latency per grid point (no queueing term), cached per replica."""
+        key = _perf_key(perf.group)
+        per_distinct = self._prefill_grid_cache.get(key)
+        if per_distinct is None:
+            per_distinct = np.array(
+                [perf.cost.prefill_latency(s, batch_size=1) for s in self._distinct_inputs]
+            )
+            self._prefill_grid_cache[key] = per_distinct
+        return per_distinct[self._input_idx]
+
+    def _decode_grid(self, perf: ReplicaPerformance, batch: int) -> np.ndarray:
+        """Decode step latency per grid point at ``batch``, cached per replica."""
+        key = (_perf_key(perf.group), int(batch))
+        per_distinct = self._decode_grid_cache.get(key)
+        if per_distinct is None:
+            per_distinct = np.array(
+                [perf.cost.decode_step_latency(batch, c) for c in self._distinct_ctxs]
+            )
+            self._decode_grid_cache[key] = per_distinct
+        return per_distinct[self._ctx_idx]
+
+    def _pair_link(
+        self, src_gpu_ids: Tuple[int, ...], dst_gpu_ids: Tuple[int, ...]
+    ) -> Optional[Tuple[float, float]]:
+        """(alpha, beta) of the best link between two replicas; ``None`` if co-located."""
+        key = (tuple(src_gpu_ids), tuple(dst_gpu_ids))
+        if key in self._link_cache:
+            return self._link_cache[key]
+        if set(src_gpu_ids) & set(dst_gpu_ids):
+            link = None
+        else:
+            network = self.cluster.network
+            i, j, _bw = network.best_link_between(list(src_gpu_ids), list(dst_gpu_ids))
+            link = (network.latency_s(i, j), network.bandwidth_bytes(i, j))
+        self._link_cache[key] = link
+        return link
+
+    def _kv_grid(self, prefill: ReplicaPerformance, decode: ReplicaPerformance) -> np.ndarray:
+        """KV transfer time per grid point for one (prefill, decode) pair."""
+        link = self._pair_link(prefill.group.gpu_ids, decode.group.gpu_ids)
+        if link is None:
+            return np.zeros(len(self._grid))
+        alpha, beta = link
+        return (alpha + self._kv_volume / beta)[self._input_idx]
+
+    @staticmethod
+    def _queue_wait(prefill: ReplicaPerformance, utilization: float) -> float:
+        """M/D/1 queueing-delay term of one prefill replica at ``utilization``."""
+        rho = min(max(utilization, 0.0), 0.98)
+        return rho / (2.0 * (1.0 - rho)) * prefill.prefill_service_s
 
     # ------------------------------------------------------------------ pairs
     def pair_estimate(
@@ -206,46 +340,28 @@ class SLOEstimator:
         side; ``decode_batch`` is the decode replica's operating batch size
         (defaults to the batch needed for its fair share of the token demand).
         """
-        rho = min(max(prefill_utilization, 0.0), 0.98)
-        queue_wait = rho / (2.0 * (1.0 - rho)) * prefill.prefill_service_s
-        context = self.mean_input + self.mean_output // 2
         if decode_batch is None:
             decode_batch = max(1, min(decode.decode_max_batch, 8))
         decode_batch = max(1, decode_batch)
 
-        total_w = 0.0
-        hit_e2e = hit_ttft = hit_tpot = 0.0
-        mean_vals = np.zeros(4)
-        for weight, s_in, s_out in self._grid:
-            ttft = queue_wait + prefill.cost.prefill_latency(s_in, batch_size=1)
-            kv_t = kv_transfer_seconds(
-                self.cluster.network,
-                prefill.group.gpu_ids,
-                decode.group.gpu_ids,
-                self.model,
-                num_tokens=s_in,
-                batch_size=1,
-                bits=self.kv_transport_bits,
-            )
-            tpot = decode.cost.decode_step_latency(decode_batch, s_in + s_out // 2)
-            e2e = ttft + kv_t + tpot * max(0, s_out - 1)
-            total_w += weight
-            mean_vals += weight * np.array([ttft, kv_t, tpot, e2e])
-            if e2e <= self.slo.e2e:
-                hit_e2e += weight
-            if ttft <= self.slo.ttft:
-                hit_ttft += weight
-            if tpot <= self.slo.tpot:
-                hit_tpot += weight
-        mean_vals /= max(total_w, 1e-12)
+        ttft = self._queue_wait(prefill, prefill_utilization) + self._prefill_grid(prefill)
+        kv = self._kv_grid(prefill, decode)
+        tpot = self._decode_grid(decode, decode_batch)
+        e2e = ttft + kv + tpot * self._out_factor
+
+        w = self._weights
+        total_w = self._weight_sum
+        means = np.array(
+            [float(np.sum(w * v)) for v in (ttft, kv, tpot, e2e)]
+        ) / max(total_w, 1e-12)
         return PairEstimate(
-            ttft=float(mean_vals[0]),
-            kv_transfer=float(mean_vals[1]),
-            tpot=float(mean_vals[2]),
-            e2e=float(mean_vals[3]),
-            attainment_e2e=hit_e2e / total_w,
-            attainment_ttft=hit_ttft / total_w,
-            attainment_tpot=hit_tpot / total_w,
+            ttft=float(means[0]),
+            kv_transfer=float(means[1]),
+            tpot=float(means[2]),
+            e2e=float(means[3]),
+            attainment_e2e=float(np.sum(w * (e2e <= self.slo.e2e)) / total_w),
+            attainment_ttft=float(np.sum(w * (ttft <= self.slo.ttft)) / total_w),
+            attainment_tpot=float(np.sum(w * (tpot <= self.slo.tpot)) / total_w),
         )
 
     def attainment_matrix(
@@ -258,10 +374,63 @@ class SLOEstimator:
     ) -> np.ndarray:
         """Estimated attainment ``D_ij`` for every (prefill, decode) pair.
 
-        Implemented with per-replica caching: the grid TTFTs of a prefill replica
-        and the grid TPOTs of a decode replica do not depend on the pairing, only
-        the KV-transfer term does, so the cost model is invoked O(m + n) times per
-        distinct grid length rather than O(m * n) times.
+        The whole (m, n, grid) latency tensor is assembled with numpy from cached
+        per-replica latency vectors: the cost model is invoked only for grid
+        lengths not already cached for a replica, and the SLO thresholding is a
+        single vectorized comparison.
+        """
+        m, n = len(prefills), len(decodes)
+        d = np.zeros((m, n))
+        if m == 0 or n == 0:
+            return d
+        w = self._weights
+        total_w = self._weight_sum
+
+        # Per-prefill TTFT per grid point (queue wait + prefill service of s_in).
+        ttft = np.empty((m, len(self._grid)))
+        for i, p in enumerate(prefills):
+            rho = prefill_utilizations[i] if prefill_utilizations is not None else 0.5
+            ttft[i] = self._queue_wait(p, rho) + self._prefill_grid(p)
+
+        if slo_type is SLOType.TTFT:
+            att = (w * (ttft <= self.slo.ttft)).sum(axis=1) / total_w
+            return np.repeat(att[:, None], n, axis=1)
+
+        # Per-decode TPOT per grid point (step latency at the operating batch).
+        tpot = np.empty((n, len(self._grid)))
+        for j, q in enumerate(decodes):
+            batch = decode_batches[j] if decode_batches is not None else None
+            if batch is None:
+                batch = max(1, min(q.decode_max_batch, 8))
+            tpot[j] = self._decode_grid(q, max(1, int(batch)))
+
+        if slo_type is SLOType.TPOT:
+            att = (w * (tpot <= self.slo.tpot)).sum(axis=1) / total_w
+            return np.repeat(att[None, :], m, axis=0)
+
+        # Per-pair KV transfer time (depends on s_in and the pair's best link).
+        kv = np.empty((m, n, len(self._grid)))
+        for i, p in enumerate(prefills):
+            for j, q in enumerate(decodes):
+                kv[i, j] = self._kv_grid(p, q)
+        e2e = ttft[:, None, :] + kv + (tpot * self._out_factor)[None, :, :]
+        return (w * (e2e <= self.slo.e2e)).sum(axis=2) / total_w
+
+    def attainment_matrix_reference(
+        self,
+        prefills: Sequence[ReplicaPerformance],
+        decodes: Sequence[ReplicaPerformance],
+        prefill_utilizations: Optional[Sequence[float]] = None,
+        decode_batches: Optional[Sequence[int]] = None,
+        slo_type: SLOType = SLOType.E2E,
+    ) -> np.ndarray:
+        """Pre-vectorization scalar implementation of :meth:`attainment_matrix`.
+
+        Kept verbatim as the ground truth for the vectorized fast path: the
+        property tests assert agreement to 1e-9 and ``bench_scenario_sweep``
+        measures the speedup against it.  It deliberately bypasses the estimator's
+        per-replica caches, invoking the cost model per distinct grid length on
+        every call like the original code did.
         """
         m, n = len(prefills), len(decodes)
         d = np.zeros((m, n))
@@ -272,7 +441,6 @@ class SLOEstimator:
         s_outs = np.array([o for _, _, o in self._grid])
         distinct_inputs = sorted(set(int(s) for s in s_ins))
 
-        # Per-prefill TTFT per grid point (queue wait + prefill service of s_in).
         ttft = np.zeros((m, len(self._grid)))
         for i, p in enumerate(prefills):
             rho = prefill_utilizations[i] if prefill_utilizations is not None else 0.5
@@ -283,7 +451,6 @@ class SLOEstimator:
             }
             ttft[i] = [per_input[int(s)] for s in s_ins]
 
-        # Per-decode TPOT per grid point (step latency at the operating batch).
         tpot = np.zeros((n, len(self._grid)))
         for j, q in enumerate(decodes):
             batch = decode_batches[j] if decode_batches is not None else None
@@ -299,7 +466,6 @@ class SLOEstimator:
                 vals.append(cache[ctx])
             tpot[j] = vals
 
-        # Per-pair KV transfer time (depends on s_in and the pair's best link).
         for i, p in enumerate(prefills):
             kv_per_input = {}
             for j, q in enumerate(decodes):

@@ -17,7 +17,7 @@ search revisits the same groups in many candidate solutions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -119,6 +119,7 @@ class LowerLevelSolver:
             params=params,
         )
         self._plan_cache: Dict[Tuple[Tuple[int, ...], Phase], Optional[ReplicaPlan]] = {}
+        self._objective_cache: Dict[object, float] = {}
         self.num_evaluations = 0
 
     # ------------------------------------------------------------------ plans
@@ -141,8 +142,29 @@ class LowerLevelSolver:
 
     # ------------------------------------------------------------------ evaluate
     def evaluate(self, solution: UpperLevelSolution) -> float:
-        """Objective value ``f(x)`` of an upper-level solution (for tabu search)."""
-        return self.solve(solution).objective
+        """Objective value ``f(x)`` of an upper-level solution (for tabu search).
+
+        Memoised on the solution's canonical key: the tabu search repeatedly
+        generates structurally identical candidates across steps, and a full
+        ``solve`` is by far the hottest call of the whole scheduling run.
+        """
+        key = solution.key()
+        cached = self._objective_cache.get(key)
+        if cached is not None:
+            return cached
+        objective = self.solve(solution).objective
+        self._objective_cache[key] = objective
+        return objective
+
+    def evaluate_batch(self, solutions: Sequence[UpperLevelSolution]) -> List[float]:
+        """Objective values of a whole neighbourhood batch.
+
+        Structurally identical candidates within the batch (and across previous
+        batches) hit :meth:`evaluate`'s memo; the estimator's replica-performance
+        and grid-latency caches are shared by all candidates, so batch scoring
+        costs roughly one ``solve`` per *distinct new* solution.
+        """
+        return [self.evaluate(s) for s in solutions]
 
     def solve(self, solution: UpperLevelSolution) -> LowerLevelResult:
         """Fully evaluate a solution and build its deployment plan."""

@@ -14,7 +14,7 @@ before the (comparatively expensive) lower-level evaluation.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Hashable, Iterable, List, Optional
 
 import numpy as np
 
@@ -135,11 +135,15 @@ def construct_neighbors(
     kv_reserve_fraction: float = 0.3,
     moves: Optional[List[str]] = None,
     max_attempts_factor: int = 8,
+    exclude_keys: Optional[Iterable[Hashable]] = None,
 ) -> List[UpperLevelSolution]:
     """Generate up to ``num_neighbors`` feasible, distinct neighbours of a solution.
 
     ``moves`` restricts the allowed move set; the lightweight rescheduler passes
-    ``["flip"]`` so that only phase designations change (§3.4).
+    ``["flip"]`` so that only phase designations change (§3.4).  ``exclude_keys``
+    (typically the tabu list) rejects candidates during generation, so the batch
+    handed to the evaluator contains only solutions the search can actually move
+    to instead of wasting attempts — and evaluations — on tabu revisits.
     """
     gen = ensure_rng(rng)
     allowed = moves or ["flip", "split", "merge", "move"]
@@ -155,6 +159,8 @@ def construct_neighbors(
 
     neighbors: List[UpperLevelSolution] = []
     seen = {solution.key()}
+    if exclude_keys is not None:
+        seen.update(exclude_keys)
     attempts = 0
     max_attempts = max_attempts_factor * num_neighbors
     while len(neighbors) < num_neighbors and attempts < max_attempts:

@@ -134,7 +134,7 @@ class Scheduler:
             else 0.3,
         )
 
-        def neighbor_fn(solution: UpperLevelSolution, count: int):
+        def neighbor_fn(solution: UpperLevelSolution, count: int, tabu_keys=()):
             return construct_neighbors(
                 solution,
                 cluster,
@@ -142,6 +142,7 @@ class Scheduler:
                 num_neighbors=count,
                 rng=rng,
                 kv_reserve_fraction=0.3,
+                exclude_keys=tabu_keys,
             )
 
         search = TabuSearch(
@@ -149,6 +150,8 @@ class Scheduler:
             neighbor_fn=neighbor_fn,
             key_fn=lambda s: s.key(),
             config=cfg.tabu,
+            batch_objective=solver.evaluate_batch,
+            pass_tabu_keys=True,
         )
         result = search.run(initial)
         lower = solver.solve(result.best_solution)

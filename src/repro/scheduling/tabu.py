@@ -73,12 +73,25 @@ class TabuSearch(Generic[S]):
     objective:
         Callable returning the scalar objective to *maximise* for a solution.
     neighbor_fn:
-        Callable producing a list of candidate neighbours for a solution.
+        Callable producing a list of candidate neighbours for a solution.  With
+        ``pass_tabu_keys=True`` it must accept a third argument — the current
+        tabu keys — so that generation can skip tabu candidates instead of
+        wasting attempts on them.
     key_fn:
         Callable mapping a solution to a hashable key (used by the tabu list).
         Defaults to the identity, which requires hashable solutions.
     config:
         Search hyper-parameters.
+    batch_objective:
+        Optional callable scoring a whole batch of candidates at once, returning
+        one objective per candidate in order.  When provided, each search step
+        scores its neighbourhood with a single call — evaluators with shared
+        caches (e.g. the lower-level solver) can then deduplicate work across
+        the batch instead of rescoring one candidate at a time.
+    pass_tabu_keys:
+        Explicit opt-in: pass the current tabu keys as a third positional
+        argument to ``neighbor_fn`` so candidates can be filtered during
+        generation.
     """
 
     def __init__(
@@ -87,11 +100,27 @@ class TabuSearch(Generic[S]):
         neighbor_fn: Callable[[S, int], Sequence[S]],
         key_fn: Optional[Callable[[S], Hashable]] = None,
         config: TabuSearchConfig = TabuSearchConfig(),
+        batch_objective: Optional[Callable[[Sequence[S]], Sequence[float]]] = None,
+        pass_tabu_keys: bool = False,
     ) -> None:
         self.objective = objective
         self.neighbor_fn = neighbor_fn
         self.key_fn = key_fn or (lambda s: s)  # type: ignore[assignment]
         self.config = config
+        self.batch_objective = batch_objective
+        self.pass_tabu_keys = pass_tabu_keys
+
+    def _score(self, candidates: Sequence[S]) -> List[float]:
+        """Score candidates, batched when a batch objective is available."""
+        if self.batch_objective is not None:
+            scores = list(self.batch_objective(candidates))
+            if len(scores) != len(candidates):
+                raise ValueError(
+                    f"batch_objective returned {len(scores)} scores "
+                    f"for {len(candidates)} candidates"
+                )
+            return [float(s) for s in scores]
+        return [self.objective(c) for c in candidates]
 
     def run(self, initial_solution: S) -> TabuSearchResult[S]:
         """Execute Algorithm 1 starting from ``initial_solution``."""
@@ -110,14 +139,23 @@ class TabuSearch(Generic[S]):
         for _ in range(cfg.num_steps):
             if cfg.time_limit_s and time.perf_counter() - start > cfg.time_limit_s:
                 break
-            neighbors = list(self.neighbor_fn(current, cfg.num_neighbors))
+            if self.pass_tabu_keys:
+                neighbors = list(self.neighbor_fn(current, cfg.num_neighbors, tuple(tabu)))
+                if not neighbors:
+                    # Everything reachable is tabu: regenerate without the
+                    # exclusions so the search can still move through a tabu
+                    # solution (the classic aspiration-by-default fallback)
+                    # rather than terminating on small search spaces.
+                    neighbors = list(self.neighbor_fn(current, cfg.num_neighbors, ()))
+            else:
+                neighbors = list(self.neighbor_fn(current, cfg.num_neighbors))
             # Exclude tabu solutions from navigation.
             candidates = [n for n in neighbors if self.key_fn(n) not in tabu]
             if not candidates:
                 candidates = neighbors
             if not candidates:
                 break
-            scored = [(self.objective(n), n) for n in candidates]
+            scored = list(zip(self._score(candidates), candidates))
             trace.num_evaluations += len(scored)
             step_obj, step_best = max(scored, key=lambda t: t[0])
 

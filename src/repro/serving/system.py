@@ -108,6 +108,17 @@ class ThunderServe:
         self.profiler.set_reference_from_spec(self.workload, self.request_rate)
         return result.plan
 
+    def adopt_plan(self, plan: DeploymentPlan, reason: str = "adopted external plan") -> DeploymentPlan:
+        """Install an externally built deployment plan without running the scheduler.
+
+        The scenario sweep schedules once and replays the same plan across many
+        scenarios, each on its own :class:`ThunderServe` instance; this is the
+        public entry point for installing that shared plan.
+        """
+        self._install_plan(plan, reason=reason)
+        self.profiler.set_reference_from_spec(self.workload, self.request_rate)
+        return plan
+
     def _install_plan(self, plan: DeploymentPlan, reason: str) -> None:
         self.plan = plan
         self.coordinator = RequestCoordinator(plan)

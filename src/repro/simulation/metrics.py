@@ -168,4 +168,28 @@ class SimulationResult:
         return self.num_finished / self.makespan
 
 
-__all__ = ["SimulationResult", "summarize_requests"]
+def merge_results(
+    results: Sequence[SimulationResult], label: str = "merged"
+) -> SimulationResult:
+    """Combine sequential window runs of one trace into a single result.
+
+    Event times are absolute within a trace, so the merged makespan is the latest
+    clock reached by any window and the merged trace duration spans from the
+    first window's start to the last window's end.  Used by the scenario sweep to
+    aggregate failure-injection runs served window-by-window.
+    """
+    if not results:
+        return SimulationResult(metrics=[], makespan=0.0, trace_duration=0.0, label=label)
+    metrics = [m for r in results for m in r.metrics]
+    metrics.sort(key=lambda m: m.request.request_id)
+    arrivals = [m.request.arrival_time for m in metrics]
+    duration = (max(arrivals) - min(arrivals)) if len(arrivals) >= 2 else 0.0
+    return SimulationResult(
+        metrics=metrics,
+        makespan=max(r.makespan for r in results),
+        trace_duration=duration,
+        label=label,
+    )
+
+
+__all__ = ["SimulationResult", "summarize_requests", "merge_results"]

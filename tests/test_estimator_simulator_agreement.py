@@ -1,0 +1,109 @@
+"""Figure-19-style golden harness: analytic estimator vs. discrete-event simulator.
+
+The scheduler trusts the fast analytic :class:`SLOEstimator` to rank candidate
+deployments; the paper validates that trust by comparing the estimator against
+the discrete-event simulator (Figure 19, Appendix J).  This module turns that
+one-off experiment into a permanent contract: on a small fixture fleet at a
+light-load operating point, the estimated system SLO attainment must stay within
+a fixed tolerance of the simulated attainment — for the TTFT, TPOT *and* E2E SLO
+types, across a sweep of SLO scales.
+
+The operating point is deliberately under capacity: the analytic model captures
+steady-state service, an M/D/1 queueing correction and the KV transfer, but not
+transient saturation, so the contract (like Figure 19) is about the regime the
+scheduler actually plans for — replicas held below their target utilisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.types import Phase, SLOType
+from repro.costmodel.reference import a100_reference_latency
+from repro.scheduling.lower_level import LowerLevelSolver
+from repro.scheduling.solution import UpperLevelSolution
+from repro.simulation.engine import ServingSimulator, SimulatorConfig
+from repro.workload.generator import generate_requests
+
+#: request rate of the fixture fleet (comfortably below its capacity)
+REQUEST_RATE = 0.5
+#: SLO scales swept by the harness (multiples of the A100 reference latency)
+SLO_SCALES = (2.0, 4.0, 8.0, 16.0)
+#: maximum allowed |estimated - simulated| attainment at any single scale
+POINT_TOLERANCE = 0.15
+#: maximum allowed mean gap across the sweep
+MEAN_TOLERANCE = 0.08
+
+
+@pytest.fixture(scope="module")
+def fixture_fleet(small_hetero_cluster, model_30b, conversation_workload):
+    """A 2-replica fleet (A40 prefill -> 3090Ti decode), its plan and a sim run."""
+    cluster = small_hetero_cluster
+    reference = a100_reference_latency(model_30b, conversation_workload)
+    a40 = [g.gpu_id for g in cluster.gpus_of_type("A40")]
+    ti = [g.gpu_id for g in cluster.gpus_of_type("3090Ti")]
+    solution = UpperLevelSolution.from_lists([(a40, Phase.PREFILL), (ti, Phase.DECODE)])
+    solver = LowerLevelSolver(
+        cluster=cluster,
+        model=model_30b,
+        workload=conversation_workload,
+        slo=reference.slo_spec(8.0),
+        request_rate=REQUEST_RATE,
+    )
+    result = solver.solve(solution)
+    assert result.feasible and result.plan is not None
+    trace = generate_requests(
+        conversation_workload, REQUEST_RATE, duration=60.0, seed=123
+    )
+    sim = ServingSimulator(
+        cluster, result.plan, model_30b, config=SimulatorConfig(seed=0)
+    ).run(trace)
+    assert sim.num_finished == sim.num_requests, "fixture run must fully drain"
+    return cluster, solution, reference, sim
+
+
+@pytest.mark.parametrize("slo_type", [SLOType.TTFT, SLOType.TPOT, SLOType.E2E])
+def test_estimator_tracks_simulator(
+    fixture_fleet, model_30b, conversation_workload, slo_type
+):
+    cluster, solution, reference, sim = fixture_fleet
+    gaps = []
+    for scale in SLO_SCALES:
+        slo = reference.slo_spec(scale)
+        solver = LowerLevelSolver(
+            cluster=cluster,
+            model=model_30b,
+            workload=conversation_workload,
+            slo=slo,
+            request_rate=REQUEST_RATE,
+            slo_type=slo_type,
+        )
+        estimated = solver.solve(solution).estimated_attainment
+        simulated = sim.slo_attainment(slo, slo_type)
+        gap = abs(estimated - simulated)
+        gaps.append(gap)
+        assert gap <= POINT_TOLERANCE, (
+            f"{slo_type.value} at scale {scale}: estimated {estimated:.3f} vs "
+            f"simulated {simulated:.3f} (gap {gap:.3f} > {POINT_TOLERANCE})"
+        )
+    assert float(np.mean(gaps)) <= MEAN_TOLERANCE
+
+
+@pytest.mark.parametrize("slo_type", [SLOType.TTFT, SLOType.TPOT, SLOType.E2E])
+def test_attainment_saturates_at_loose_slo(
+    fixture_fleet, model_30b, conversation_workload, slo_type
+):
+    """Both estimator and simulator must reach full attainment at a loose SLO."""
+    cluster, solution, reference, sim = fixture_fleet
+    slo = reference.slo_spec(64.0)
+    solver = LowerLevelSolver(
+        cluster=cluster,
+        model=model_30b,
+        workload=conversation_workload,
+        slo=slo,
+        request_rate=REQUEST_RATE,
+        slo_type=slo_type,
+    )
+    assert solver.solve(solution).estimated_attainment == pytest.approx(1.0, abs=1e-6)
+    assert sim.slo_attainment(slo, slo_type) == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,139 @@
+"""Property tests for the vectorized estimator fast path.
+
+Two contracts guard the scheduler's hot loop:
+
+1. **Deadline monotonicity** — tightening any SLO deadline can never increase
+   estimated attainment (attainment is the measure of grid mass under the
+   deadline, so it must be monotone non-increasing as the deadline shrinks).
+2. **Vectorized == scalar reference** — the numpy fast path must match the
+   retained pre-refactor scalar implementation to 1e-9 on randomized workloads,
+   for every SLO type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.types import Phase, SLOSpec, SLOType
+from repro.parallelism.enumeration import deduce_parallel_plan
+from repro.scheduling.deployment import ServingGroup
+from repro.scheduling.estimator import SLOEstimator
+from repro.workload.spec import WorkloadSpec
+
+
+workload_specs = st.builds(
+    WorkloadSpec,
+    name=st.just("random"),
+    median_input_length=st.floats(min_value=64.0, max_value=2048.0),
+    median_output_length=st.floats(min_value=8.0, max_value=256.0),
+    input_sigma=st.floats(min_value=0.0, max_value=0.8),
+    output_sigma=st.floats(min_value=0.0, max_value=0.8),
+)
+
+
+def _fleet(cluster, model, workload, estimator):
+    """One A40 prefill replica and one 3090Ti decode replica."""
+    a40 = [g.gpu_id for g in cluster.gpus_of_type("A40")]
+    ti = [g.gpu_id for g in cluster.gpus_of_type("3090Ti")]
+    prefill_plan = deduce_parallel_plan(cluster, a40, Phase.PREFILL, model, workload)
+    decode_plan = deduce_parallel_plan(cluster, ti, Phase.DECODE, model, workload)
+    prefill = estimator.replica_performance(
+        ServingGroup(group_id=0, gpu_ids=tuple(a40), phase=Phase.PREFILL, plan=prefill_plan)
+    )
+    decode = estimator.replica_performance(
+        ServingGroup(group_id=1, gpu_ids=tuple(ti), phase=Phase.DECODE, plan=decode_plan)
+    )
+    return [prefill], [decode]
+
+
+@pytest.fixture(scope="module")
+def hetero_cluster(small_hetero_cluster):
+    return small_hetero_cluster
+
+
+@settings(max_examples=20, deadline=None)
+@given(workload=workload_specs, data=st.data())
+def test_attainment_monotone_in_deadline(hetero_cluster, model_13b, workload, data):
+    """Attainment is monotone non-increasing as the SLO deadline tightens."""
+    slo_type = data.draw(st.sampled_from(list(SLOType)))
+    base = data.draw(st.floats(min_value=1e-3, max_value=60.0))
+    estimator = SLOEstimator(
+        hetero_cluster,
+        model_13b,
+        workload,
+        SLOSpec(ttft=base, tpot=base, e2e=base),
+        request_rate=2.0,
+    )
+    prefills, decodes = _fleet(hetero_cluster, model_13b, workload, estimator)
+    # Sweep the deadline downward; attainment must never increase.
+    deadlines = sorted(
+        data.draw(
+            st.lists(st.floats(min_value=1e-4, max_value=120.0), min_size=3, max_size=6)
+        ),
+        reverse=True,
+    )
+    previous = None
+    for deadline in deadlines:
+        estimator.slo = SLOSpec(ttft=deadline, tpot=deadline, e2e=deadline)
+        attainment = estimator.attainment_matrix(prefills, decodes, slo_type=slo_type)[0, 0]
+        assert 0.0 <= attainment <= 1.0
+        if previous is not None:
+            assert attainment <= previous + 1e-12, (
+                f"attainment rose from {previous:.6f} to {attainment:.6f} "
+                f"as the {slo_type.value} deadline tightened to {deadline:g}s"
+            )
+        previous = attainment
+
+
+@settings(max_examples=20, deadline=None)
+@given(workload=workload_specs, slo_scale=st.floats(min_value=0.5, max_value=20.0))
+def test_vectorized_matches_scalar_reference(hetero_cluster, model_13b, workload, slo_scale):
+    """The numpy fast path reproduces the pre-refactor scalar estimator to 1e-9."""
+    from repro.costmodel.reference import a100_reference_latency
+
+    slo = a100_reference_latency(model_13b, workload).slo_spec(slo_scale)
+    estimator = SLOEstimator(hetero_cluster, model_13b, workload, slo, request_rate=2.0)
+    prefills, decodes = _fleet(hetero_cluster, model_13b, workload, estimator)
+    utilizations = [0.3]
+    batches = [4]
+    for slo_type in SLOType:
+        fast = estimator.attainment_matrix(
+            prefills, decodes,
+            prefill_utilizations=utilizations,
+            decode_batches=batches,
+            slo_type=slo_type,
+        )
+        reference = estimator.attainment_matrix_reference(
+            prefills, decodes,
+            prefill_utilizations=utilizations,
+            decode_batches=batches,
+            slo_type=slo_type,
+        )
+        np.testing.assert_allclose(fast, reference, atol=1e-9, rtol=0.0)
+
+
+def test_replica_performance_memoized_across_group_ids(
+    hetero_cluster, model_13b, conversation_workload
+):
+    """Groups with the same structure share cached figures despite differing ids."""
+    from repro.costmodel.reference import a100_reference_latency
+
+    slo = a100_reference_latency(model_13b, conversation_workload).slo_spec(5.0)
+    estimator = SLOEstimator(
+        hetero_cluster, model_13b, conversation_workload, slo, request_rate=2.0
+    )
+    a40 = [g.gpu_id for g in hetero_cluster.gpus_of_type("A40")]
+    plan = deduce_parallel_plan(
+        hetero_cluster, a40, Phase.PREFILL, model_13b, conversation_workload
+    )
+    first = estimator.replica_performance(
+        ServingGroup(group_id=0, gpu_ids=tuple(a40), phase=Phase.PREFILL, plan=plan)
+    )
+    second = estimator.replica_performance(
+        ServingGroup(group_id=7, gpu_ids=tuple(a40), phase=Phase.PREFILL, plan=plan)
+    )
+    assert second.cost is first.cost, "cost model should be shared, not rebuilt"
+    assert second.group.group_id == 7, "the requesting group's identity is preserved"
+    assert second.prefill_service_s == first.prefill_service_s

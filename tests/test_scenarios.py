@@ -1,0 +1,170 @@
+"""Coverage for every named scenario in ``repro.scenarios`` and the sweep runner.
+
+Each registered scenario is checked for: determinism under a fixed seed, trace
+shape invariants (arrival monotonicity and bounds, positive lengths, unique ids)
+and one end-to-end ``ThunderServe.serve()`` smoke run; the sweep runner is
+exercised across the whole library, including the failure-injection path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    FailureEvent,
+    ScenarioSweep,
+    SpotPreemptionScenario,
+    default_scenarios,
+    get_scenario,
+    list_scenarios,
+)
+from repro.scenarios.library import MultiTenantSLOTiersScenario, TenantTier
+from repro.scheduling.scheduler import Scheduler, SchedulerConfig
+from repro.scheduling.tabu import TabuSearchConfig
+from repro.serving.system import ThunderServe
+from repro.workload.spec import CONVERSATION_WORKLOAD
+
+#: short trace length used throughout: long enough for dozens of requests,
+#: short enough to keep the whole module in the fast tier of the suite
+SMOKE_DURATION = 12.0
+
+
+def smoke_scenarios():
+    """One short-duration instance of every registered scenario."""
+    return default_scenarios(duration=SMOKE_DURATION)
+
+
+@pytest.fixture(scope="module")
+def cloud_plan(cloud_cluster, model_30b):
+    """A scheduler-built plan on the 32-GPU cloud cluster, shared by all smokes."""
+    scheduler = Scheduler(
+        SchedulerConfig(
+            tabu=TabuSearchConfig(num_steps=6, num_neighbors=4, memory_size=5, patience=4),
+            seed=0,
+        )
+    )
+    result = scheduler.schedule(
+        cloud_cluster, model_30b, CONVERSATION_WORKLOAD, request_rate=5.0
+    )
+    return result.plan
+
+
+# --------------------------------------------------------------------- registry
+def test_registry_has_at_least_six_scenarios():
+    names = list_scenarios()
+    assert len(names) >= 6
+    assert len(set(names)) == len(names)
+    for name in names:
+        scenario = get_scenario(name)
+        assert scenario.name == name
+        assert scenario.description
+
+
+def test_get_scenario_overrides_and_errors():
+    scenario = get_scenario("long-context-rag", request_rate=3.5, duration=20.0)
+    assert scenario.request_rate == 3.5
+    assert scenario.duration == 20.0
+    with pytest.raises(KeyError):
+        get_scenario("no-such-scenario")
+
+
+# ------------------------------------------------------------------ determinism
+@pytest.mark.parametrize("scenario", smoke_scenarios(), ids=lambda s: s.name)
+def test_trace_deterministic_under_fixed_seed(scenario):
+    first = scenario.build_trace(seed=42)
+    second = scenario.build_trace(seed=42)
+    assert [r.arrival_time for r in first] == [r.arrival_time for r in second]
+    assert [(r.input_length, r.output_length, r.workload) for r in first] == [
+        (r.input_length, r.output_length, r.workload) for r in second
+    ]
+    different = scenario.build_trace(seed=43)
+    assert [r.arrival_time for r in first] != [r.arrival_time for r in different]
+
+
+# -------------------------------------------------------------------- invariants
+@pytest.mark.parametrize("scenario", smoke_scenarios(), ids=lambda s: s.name)
+def test_trace_shape_invariants(scenario):
+    trace = scenario.build_trace(seed=7)
+    assert len(trace) > 0, "a smoke-length trace must contain requests"
+    arrivals = [r.arrival_time for r in trace]
+    assert arrivals == sorted(arrivals), "arrivals must be non-decreasing"
+    assert all(0.0 <= t < scenario.duration for t in arrivals)
+    assert all(r.input_length >= 1 and r.output_length >= 1 for r in trace)
+    ids = [r.request_id for r in trace]
+    assert len(set(ids)) == len(ids), "request ids must be unique"
+
+
+def test_multi_tenant_trace_tags_every_tenant():
+    scenario = get_scenario("multi-tenant", duration=30.0)
+    trace = scenario.build_trace(seed=5)
+    tags = {r.workload for r in trace}
+    assert tags == {f"tenant:{t.tenant}" for t in scenario.tiers}
+    assert scenario.slo_scale() == min(t.slo_scale for t in scenario.tiers)
+
+
+def test_multi_tenant_rejects_bad_shares():
+    with pytest.raises(ValueError):
+        MultiTenantSLOTiersScenario(
+            tiers=(
+                TenantTier("a", CONVERSATION_WORKLOAD, share=0.5, slo_scale=5.0),
+                TenantTier("b", CONVERSATION_WORKLOAD, share=0.2, slo_scale=5.0),
+            )
+        )
+
+
+def test_spot_preemption_failure_schedule_sorted_and_bounded():
+    scenario = SpotPreemptionScenario(duration=100.0, preemption_fractions=(0.7, 0.3))
+    events = scenario.failure_schedule()
+    assert [e.time for e in events] == [30.0, 70.0]
+    assert all(isinstance(e, FailureEvent) and 0 < e.time < 100.0 for e in events)
+
+
+# ------------------------------------------------------------------- e2e smokes
+@pytest.mark.integration
+@pytest.mark.parametrize("scenario", smoke_scenarios(), ids=lambda s: s.name)
+def test_serve_smoke_per_scenario(scenario, cloud_cluster, model_30b, cloud_plan):
+    """Every scenario's trace must serve end-to-end on a real deployment plan."""
+    system = ThunderServe(
+        cloud_cluster,
+        model_30b,
+        scenario.planning_workload(),
+        scenario.request_rate,
+    )
+    system.adopt_plan(cloud_plan)
+    trace = scenario.build_trace(seed=3)
+    result = system.serve(trace, label=scenario.name)
+    assert result.num_requests == len(trace)
+    assert result.num_finished > 0
+    assert result.output_token_throughput > 0
+
+
+@pytest.mark.integration
+def test_scenario_sweep_end_to_end(cloud_cluster, model_30b, cloud_plan):
+    """The concurrent sweep covers all scenarios, including failure injection."""
+    sweep = ScenarioSweep(smoke_scenarios(), seed=0)
+    outcomes = sweep.evaluate(cloud_cluster, model_30b, cloud_plan)
+    assert set(outcomes) == set(list_scenarios())
+    for name, outcome in outcomes.items():
+        assert outcome.num_requests > 0, name
+        assert outcome.num_finished > 0, name
+        for value in (
+            outcome.attainment_e2e, outcome.attainment_ttft, outcome.attainment_tpot
+        ):
+            assert 0.0 <= value <= 1.0, name
+    spot = outcomes["spot-preemption"]
+    assert spot.num_plan_changes == len(SpotPreemptionScenario().preemption_fractions)
+    tenants = outcomes["multi-tenant"].per_tenant_attainment
+    assert set(tenants) == {"gold", "silver", "bronze"}
+    table = ScenarioSweep.to_table(outcomes)
+    assert "spot-preemption" in table
+
+
+def test_sweep_is_deterministic(cloud_cluster, model_30b, cloud_plan):
+    """Same seed, same outcomes — scenario seeds are derived deterministically."""
+    scenarios = [get_scenario("diurnal", duration=SMOKE_DURATION)]
+    first = ScenarioSweep(scenarios, seed=9).evaluate(cloud_cluster, model_30b, cloud_plan)
+    second = ScenarioSweep(scenarios, seed=9).evaluate(cloud_cluster, model_30b, cloud_plan)
+    a, b = first["diurnal"], second["diurnal"]
+    assert a.num_requests == b.num_requests
+    assert a.attainment_e2e == b.attainment_e2e
+    assert a.output_token_throughput == b.output_token_throughput
