@@ -88,6 +88,9 @@ def main() -> None:
     # The same plan, stressed across every named scenario in repro.scenarios.
     # Scenarios run concurrently (each on its own ThunderServe instance); the
     # spot-preemption scenario additionally exercises lightweight rescheduling.
+    # For long traces, pass executor="process" to escape the GIL (outcomes are
+    # identical); the simulator itself defaults to the vectorized fast engine —
+    # SimulatorConfig(engine="reference") selects the per-event implementation.
     sweep = ScenarioSweep(default_scenarios(duration=30.0), seed=0)
     outcomes = sweep.evaluate(cluster, model, plan)
     print("\n" + ScenarioSweep.to_table(outcomes))

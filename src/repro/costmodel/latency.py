@@ -21,7 +21,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.exceptions import ConfigurationError
 from repro.core.types import Phase
@@ -39,6 +41,7 @@ from repro.model.flops import (
 )
 from repro.model.memory import (
     kv_cache_bytes_per_token,
+    parameter_bytes,
     weight_bytes_per_layer,
 )
 from repro.parallelism.config import ReplicaPlan
@@ -87,6 +90,11 @@ class CostModelParams:
 
 
 DEFAULT_PARAMS = CostModelParams()
+
+#: cap on the per-replica decode-step memo (entries are ~100 bytes; the cap
+#: bounds long-lived simulators serving context-diverse traces to a few tens of
+#: MB — the memo simply restarts cold when it fills)
+DECODE_STEP_MEMO_MAX = 262_144
 
 
 def single_gpu_phase_latency(
@@ -169,6 +177,10 @@ class ReplicaCostModel:
         self.plan = plan
         self.model = model
         self.params = params
+        #: memoized decode-step latencies keyed by (batch_size, context_length);
+        #: filled by :meth:`decode_step_grid` and shared across simulator epochs
+        self._decode_step_memo: Dict[Tuple[int, int], float] = {}
+        self._pp_links: List[AlphaBetaModel] | None = None
         self._stages: List[_StageView] = []
         network = cluster.network
         for stage in plan.stages:
@@ -263,6 +275,101 @@ class ReplicaCostModel:
             total += max(compute_t, mem_t) + overhead + self._tp_comm_time(stage, 1, batch_size)
         total += self._pp_comm_time(1, batch_size)
         return total
+
+    def decode_step_latency_array(
+        self, batch_sizes: Sequence[int] | np.ndarray, context_lengths: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`decode_step_latency` over parallel (batch, context) arrays.
+
+        Bitwise-identical to the scalar method: every element goes through the
+        same sequence of float64 operations (all integer intermediates stay below
+        2**53, so the int-to-float conversion points round identically).  This is
+        the kernel behind the simulator's coalesced decode epochs, where one call
+        prices every step of a jump at once.
+        """
+        b = np.asarray(batch_sizes, dtype=np.int64)
+        c = np.asarray(context_lengths, dtype=np.int64)
+        if b.shape != c.shape:
+            raise ValueError("batch_sizes and context_lengths must have the same shape")
+        if b.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        if int(b.min()) < 1 or int(c.min()) < 1:
+            raise ValueError("batch_size and context_length must be >= 1")
+        model = self.model
+        params = self.params
+        total = np.zeros(b.shape, dtype=np.float64)
+        for stage in self._stages:
+            # flops = decode_flops_per_token(model, ctx, layers) * batch, with the
+            # scalar path's exact multiplication order (see model.flops).
+            mlp1 = mlp_flops(model, 1, stage.num_layers)
+            att = stage.num_layers * 4.0 * 1 * c * model.hidden_size
+            flops = (mlp1 + att) * b
+            compute_t = flops / (
+                stage.sum_flops * params.tp_efficiency(stage.tp) * params.decode_mfu
+            )
+            # mem_bytes = decode_memory_bytes_per_token(model, ctx, batch, layers)
+            frac = stage.num_layers / model.num_layers
+            weights = parameter_bytes(model) * frac
+            kv_read = kv_cache_bytes_per_token(model, num_layers=stage.num_layers) * c * b
+            mem_t = (weights + kv_read) / (stage.sum_bandwidth * params.memory_efficiency)
+            overhead = stage.num_layers * params.per_layer_overhead_s + params.per_stage_overhead_s
+            if stage.tp <= 1:
+                tp_comm: np.ndarray | float = 0.0
+            else:
+                activation_bytes = 1 * b * model.hidden_size * model.dtype_bytes
+                volume = 2.0 * (stage.tp - 1) / stage.tp * activation_bytes
+                allreduce = (
+                    2.0 * (stage.tp - 1) * stage.intra_latency_s
+                    + volume / stage.intra_bandwidth_bytes
+                )
+                tp_comm = (2.0 * allreduce) * stage.num_layers
+            total = total + ((np.maximum(compute_t, mem_t) + overhead) + tp_comm)
+        if len(self._stages) > 1:
+            if self._pp_links is None:
+                self._pp_links = [
+                    self._stage_link(a, bb)
+                    for a, bb in zip(self._stages[:-1], self._stages[1:])
+                ]
+            activation_bytes = 1 * b * model.hidden_size * model.dtype_bytes
+            pp = 0.0
+            for link in self._pp_links:
+                pp = pp + (link.alpha_s + activation_bytes / link.beta_bytes_per_s)
+            total = total + pp
+        return total
+
+    def decode_step_grid(
+        self, batch_sizes: np.ndarray, context_lengths: np.ndarray
+    ) -> np.ndarray:
+        """Memoized elementwise decode-step latencies.
+
+        Looks every (batch, context) pair up in the per-replica memo and computes
+        only the missing entries with :meth:`decode_step_latency_array`.  Decode
+        replicas revisit the same grid points constantly (the batch saturates and
+        contexts advance through the same integer range across requests), so the
+        memo turns the steady-state cost into a dict lookup.
+        """
+        b = np.asarray(batch_sizes, dtype=np.int64)
+        c = np.asarray(context_lengths, dtype=np.int64)
+        out = np.empty(b.shape, dtype=np.float64)
+        memo = self._decode_step_memo
+        missing: List[int] = []
+        b_list = b.tolist()
+        c_list = c.tolist()
+        for i, key in enumerate(zip(b_list, c_list)):
+            cached = memo.get(key)
+            if cached is None:
+                missing.append(i)
+            else:
+                out[i] = cached
+        if missing:
+            idx = np.asarray(missing, dtype=np.intp)
+            values = self.decode_step_latency_array(b[idx], c[idx])
+            out[idx] = values
+            if len(memo) + len(missing) > DECODE_STEP_MEMO_MAX:
+                memo.clear()
+            for i, value in zip(missing, values.tolist()):
+                memo[(b_list[i], c_list[i])] = value
+        return out
 
     def decode_latency(self, batch_size: int, context_length: int, num_tokens: int) -> float:
         """Time to generate ``num_tokens`` tokens per sequence for a batch.

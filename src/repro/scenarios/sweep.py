@@ -3,17 +3,21 @@
 The sweep schedules once (or adopts a caller-provided plan) and then serves every
 scenario concurrently on its own :class:`~repro.serving.system.ThunderServe`
 instance via ``concurrent.futures`` — scenarios are independent simulations over
-immutable shared inputs (cluster, model, plan), so thread-level parallelism is
-safe.  Failure-injection scenarios are served window-by-window, applying each
-:class:`~repro.scenarios.base.FailureEvent` with lightweight rescheduling between
-windows, and the per-window results are merged into one scenario outcome.
+immutable shared inputs (cluster, model, plan), so both thread- and process-level
+parallelism are safe.  ``executor="process"`` runs each scenario in its own
+interpreter (plans, clusters and scenarios are picklable value objects), letting
+long multi-scenario sweeps escape the GIL — the simulators are pure Python, so
+threads serialise on long traces.  Failure-injection scenarios are served
+window-by-window, applying each :class:`~repro.scenarios.base.FailureEvent` with
+lightweight rescheduling between windows, and the per-window results are merged
+into one scenario outcome.
 """
 
 from __future__ import annotations
 
 import time
 import zlib
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -68,16 +72,24 @@ class ScenarioSweep:
     seed:
         Base seed; each scenario derives its own deterministic stream from it.
     max_workers:
-        Thread-pool width (defaults to one thread per scenario).
+        Pool width (defaults to one worker per scenario).
+    executor:
+        ``"thread"`` (default) or ``"process"``.  Process mode serves every
+        scenario in its own interpreter via :class:`ProcessPoolExecutor`,
+        sidestepping the GIL for long traces; outcomes are identical because
+        each scenario's seeds derive only from the sweep seed and its name.
     scheduler_config, simulator_config, params:
         Forwarded to the per-scenario serving systems.
     """
+
+    EXECUTORS = ("thread", "process")
 
     def __init__(
         self,
         scenarios: Optional[Sequence[Scenario]] = None,
         seed: int = 0,
         max_workers: Optional[int] = None,
+        executor: str = "thread",
         scheduler_config: Optional[SchedulerConfig] = None,
         simulator_config: Optional[SimulatorConfig] = None,
         params: CostModelParams = DEFAULT_PARAMS,
@@ -90,8 +102,11 @@ class ScenarioSweep:
         names = [s.name for s in self.scenarios]
         if len(set(names)) != len(names):
             raise ValueError(f"scenario names must be unique, got {names}")
+        if executor not in self.EXECUTORS:
+            raise ValueError(f"executor must be one of {self.EXECUTORS}, got {executor!r}")
         self.seed = seed
         self.max_workers = max_workers
+        self.executor = executor
         self.scheduler_config = scheduler_config
         self.simulator_config = simulator_config
         self.params = params
@@ -114,10 +129,11 @@ class ScenarioSweep:
         plan: DeploymentPlan,
     ) -> Dict[str, ScenarioOutcome]:
         """Serve every scenario with ``plan`` and return outcomes keyed by name."""
-        workers = self.max_workers or len(self.scenarios)
-        with ThreadPoolExecutor(max_workers=max(1, workers)) as pool:
+        workers = max(1, self.max_workers or len(self.scenarios))
+        pool_cls = ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
+        with pool_cls(max_workers=workers) as pool:
             futures = {
-                scenario.name: pool.submit(self._run_one, scenario, cluster, model, plan)
+                scenario.name: pool.submit(_run_scenario, self, scenario, cluster, model, plan)
                 for scenario in self.scenarios
             }
             return {name: fut.result() for name, fut in futures.items()}
@@ -244,6 +260,17 @@ class ScenarioSweep:
             for _, o in sorted(outcomes.items())
         ]
         return format_table(headers, rows, precision=precision, title="Scenario sweep")
+
+
+def _run_scenario(
+    sweep: ScenarioSweep,
+    scenario: Scenario,
+    cluster: Cluster,
+    model: ModelConfig,
+    plan: DeploymentPlan,
+) -> ScenarioOutcome:
+    """Module-level worker so process pools can pickle tasks under any start method."""
+    return sweep._run_one(scenario, cluster, model, plan)
 
 
 __all__ = ["ScenarioSweep", "ScenarioOutcome"]

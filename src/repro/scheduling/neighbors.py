@@ -14,7 +14,7 @@ before the (comparatively expensive) lower-level evaluation.
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Iterable, List, Optional
+from typing import Hashable, Iterable, List, Optional
 
 import numpy as np
 
@@ -42,6 +42,53 @@ def _feasible(
     )
 
 
+# ------------------------------------------------------------------- appliers
+# Deterministic move semantics, shared by the standalone movers (which sample
+# their parameters one draw at a time) and the batched :class:`_MovePlan`
+# (which pre-draws every parameter vectorized).  Keeping a single copy of each
+# move's mechanics means the two sampling paths cannot drift apart.
+
+
+def _apply_flip(solution: UpperLevelSolution, idx: int) -> UpperLevelSolution:
+    group = solution.groups[idx]
+    return solution.replace_group(idx, group.with_phase(group.phase.other()))
+
+
+def _apply_split(
+    solution: UpperLevelSolution, idx: int, ratio: float, phase_a: Phase, phase_b: Phase
+) -> UpperLevelSolution:
+    gpus = sorted(solution.groups[idx].gpu_ids)
+    cut = int(len(gpus) * ratio)
+    cut = min(max(cut, 1), len(gpus) - 1)
+    first = GroupAssignment(gpu_ids=frozenset(gpus[:cut]), phase=phase_a)
+    second = GroupAssignment(gpu_ids=frozenset(gpus[cut:]), phase=phase_b)
+    return solution.replace_group(idx, first, second)
+
+
+def _apply_merge(solution: UpperLevelSolution, a: int, b: int, phase: Phase) -> UpperLevelSolution:
+    i, j = int(min(a, b)), int(max(a, b))
+    merged = GroupAssignment(
+        gpu_ids=solution.groups[i].gpu_ids | solution.groups[j].gpu_ids,
+        phase=phase,
+    )
+    without_j = solution.replace_group(j)
+    # Group i keeps its index after removing j (j > i).
+    return without_j.replace_group(i, merged)
+
+
+def _apply_move(
+    solution: UpperLevelSolution, src_idx: int, dst_idx: int, moved: frozenset
+) -> UpperLevelSolution:
+    src = solution.groups[src_idx]
+    dst = solution.groups[dst_idx]
+    new_src = GroupAssignment(gpu_ids=src.gpu_ids - moved, phase=src.phase)
+    new_dst = GroupAssignment(gpu_ids=dst.gpu_ids | moved, phase=dst.phase)
+    groups = list(solution.groups)
+    groups[src_idx] = new_src
+    groups[dst_idx] = new_dst
+    return UpperLevelSolution.from_lists([(g.gpu_ids, g.phase) for g in groups])
+
+
 # --------------------------------------------------------------------------- moves
 def flip_phase(
     solution: UpperLevelSolution, rng: RNGLike = None, group_index: Optional[int] = None
@@ -49,8 +96,7 @@ def flip_phase(
     """Flip the phase of one (randomly chosen) group."""
     gen = ensure_rng(rng)
     idx = int(gen.integers(0, solution.num_groups)) if group_index is None else group_index
-    group = solution.groups[idx]
-    return solution.replace_group(idx, group.with_phase(group.phase.other()))
+    return _apply_flip(solution, idx)
 
 
 def split_group(
@@ -62,14 +108,8 @@ def split_group(
     if not splittable:
         return None
     idx = int(gen.choice(splittable))
-    group = solution.groups[idx]
-    gpus = sorted(group.gpu_ids)
     ratio = float(gen.uniform(0.25, 0.75))
-    cut = int(len(gpus) * ratio)
-    cut = min(max(cut, 1), len(gpus) - 1)
-    first = GroupAssignment(gpu_ids=frozenset(gpus[:cut]), phase=_random_phase(gen))
-    second = GroupAssignment(gpu_ids=frozenset(gpus[cut:]), phase=_random_phase(gen))
-    return solution.replace_group(idx, first, second)
+    return _apply_split(solution, idx, ratio, _random_phase(gen), _random_phase(gen))
 
 
 def merge_groups(
@@ -80,14 +120,7 @@ def merge_groups(
     if solution.num_groups < 2:
         return None
     i, j = gen.choice(solution.num_groups, size=2, replace=False)
-    i, j = int(min(i, j)), int(max(i, j))
-    merged = GroupAssignment(
-        gpu_ids=solution.groups[i].gpu_ids | solution.groups[j].gpu_ids,
-        phase=_random_phase(gen),
-    )
-    without_j = solution.replace_group(j)
-    # Group i keeps its index after removing j (j > i).
-    return without_j.replace_group(i, merged)
+    return _apply_merge(solution, int(i), int(j), _random_phase(gen))
 
 
 def move_gpus(
@@ -103,7 +136,6 @@ def move_gpus(
     src_idx = int(gen.choice(donors))
     dst_idx = int(gen.choice([i for i in range(solution.num_groups) if i != src_idx]))
     src = solution.groups[src_idx]
-    dst = solution.groups[dst_idx]
 
     # Pick a GPU type present in the source group and move 1..(count-1) of them.
     by_type: dict[str, List[int]] = {}
@@ -115,17 +147,144 @@ def move_gpus(
     if max_move < 1:
         return None
     count = int(gen.integers(1, max_move + 1))
-    moved = frozenset(candidates[:count])
-
-    new_src = GroupAssignment(gpu_ids=src.gpu_ids - moved, phase=src.phase)
-    new_dst = GroupAssignment(gpu_ids=dst.gpu_ids | moved, phase=dst.phase)
-    groups = list(solution.groups)
-    groups[src_idx] = new_src
-    groups[dst_idx] = new_dst
-    return UpperLevelSolution.from_lists([(g.gpu_ids, g.phase) for g in groups])
+    # Sample the moved subset — a sorted prefix would confine the move to a
+    # deterministic sliver of the neighbourhood.
+    moved = frozenset(int(g) for g in gen.choice(candidates, size=count, replace=False))
+    return _apply_move(solution, src_idx, dst_idx, moved)
 
 
 # --------------------------------------------------------------------------- batch
+_KNOWN_MOVES = ("flip", "split", "merge", "move")
+
+
+class _MovePlan:
+    """All randomness for a batch of neighbourhood moves, drawn up front.
+
+    Every candidate in a neighbourhood is derived from the *same* base solution,
+    so the random parameters of each move depend only on solution-static facts
+    (which groups are splittable, which can donate GPUs, the per-group hardware
+    mix).  That lets the whole attempt sequence be sampled with one vectorized
+    RNG draw per parameter kind instead of a cascade of tiny per-candidate
+    draws — the remaining Python overhead in large-cluster tabu searches.
+    """
+
+    def __init__(
+        self,
+        gen: np.random.Generator,
+        allowed: List[str],
+        attempts: int,
+        solution: UpperLevelSolution,
+        cluster: Cluster,
+    ) -> None:
+        self.solution = solution
+        self.kinds: List[str] = [str(k) for k in gen.choice(allowed, size=attempts)]
+        counts = {kind: self.kinds.count(kind) for kind in allowed}
+        num_groups = solution.num_groups
+        self._cursor = {kind: 0 for kind in allowed}
+
+        self.flip_idx = (
+            gen.integers(0, num_groups, size=counts["flip"]).tolist()
+            if counts.get("flip")
+            else []
+        )
+
+        # Solution-static facts are only gathered for kinds actually drawn: the
+        # flip-only rescheduling path must not pay for donor/split breakdowns.
+        n_split = counts.get("split", 0)
+        self.splittable = (
+            [i for i, g in enumerate(solution.groups) if g.num_gpus >= 2] if n_split else []
+        )
+        if n_split and self.splittable:
+            self.split_idx = gen.integers(0, len(self.splittable), size=n_split).tolist()
+            self.split_ratio = gen.uniform(0.25, 0.75, size=n_split).tolist()
+            self.split_phases = (gen.random(size=(n_split, 2)) < 0.5).tolist()
+        else:
+            self.split_idx = []
+
+        n_merge = counts.get("merge", 0)
+        if n_merge and num_groups >= 2:
+            first = gen.integers(0, num_groups, size=n_merge)
+            second = gen.integers(0, num_groups - 1, size=n_merge)
+            second = second + (second >= first)
+            self.merge_pairs = np.stack([first, second], axis=1).tolist()
+            self.merge_phase = (gen.random(size=n_merge) < 0.5).tolist()
+        else:
+            self.merge_pairs = []
+
+        n_move = counts.get("move", 0)
+        self.donors = (
+            [i for i, g in enumerate(solution.groups) if g.num_gpus >= 2] if n_move else []
+        )
+        #: per-donor {type_name: sorted gpu ids} breakdown (solution-static)
+        self.donor_types: List[dict[str, List[int]]] = []
+        for i in self.donors:
+            by_type: dict[str, List[int]] = {}
+            for g in solution.groups[i].gpu_ids:
+                by_type.setdefault(cluster.gpu(g).type_name, []).append(g)
+            self.donor_types.append({t: sorted(ids) for t, ids in sorted(by_type.items())})
+        if n_move and self.donors and num_groups >= 2:
+            self.move_src = gen.integers(0, len(self.donors), size=n_move).tolist()
+            self.move_dst = gen.integers(0, num_groups - 1, size=n_move).tolist()
+            self.move_type_u = gen.random(size=n_move).tolist()
+            self.move_count_u = gen.random(size=n_move).tolist()
+            max_gpus = max(solution.groups[i].num_gpus for i in self.donors)
+            self.move_subset_u = gen.random(size=(n_move, max_gpus))
+        else:
+            self.move_src = []
+
+    def _next(self, kind: str) -> int:
+        slot = self._cursor[kind]
+        self._cursor[kind] = slot + 1
+        return slot
+
+    # ------------------------------------------------------------------ apply
+    def apply(self, kind: str) -> Optional[UpperLevelSolution]:
+        """Materialise the next pre-drawn move of ``kind`` (None when impossible).
+
+        Only the parameter *lookup* lives here; the move mechanics are the
+        shared ``_apply_*`` functions, so batch and standalone sampling cannot
+        diverge semantically.
+        """
+        solution = self.solution
+        slot = self._next(kind)
+        if kind == "flip":
+            return _apply_flip(solution, self.flip_idx[slot])
+        if kind == "split":
+            if not self.split_idx:
+                return None
+            idx = self.splittable[self.split_idx[slot]]
+            phase_a, phase_b = (
+                Phase.PREFILL if flag else Phase.DECODE for flag in self.split_phases[slot]
+            )
+            return _apply_split(solution, idx, self.split_ratio[slot], phase_a, phase_b)
+        if kind == "merge":
+            if not self.merge_pairs:
+                return None
+            a, b = self.merge_pairs[slot]
+            phase = Phase.PREFILL if self.merge_phase[slot] else Phase.DECODE
+            return _apply_merge(solution, a, b, phase)
+        # kind == "move"
+        if not self.move_src:
+            return None
+        donor_slot = self.move_src[slot]
+        src_idx = self.donors[donor_slot]
+        dst_idx = self.move_dst[slot]
+        dst_idx = dst_idx + (dst_idx >= src_idx)
+        by_type = self.donor_types[donor_slot]
+        type_names = list(by_type)
+        type_name = type_names[min(int(self.move_type_u[slot] * len(type_names)), len(type_names) - 1)]
+        candidates = by_type[type_name]
+        max_move = min(len(candidates), solution.groups[src_idx].num_gpus - 1)
+        if max_move < 1:
+            return None
+        count = 1 + min(int(self.move_count_u[slot] * max_move), max_move - 1)
+        # Random subset of the movable GPUs via pre-drawn uniform keys.
+        keys = self.move_subset_u[slot, : len(candidates)]
+        chosen = np.argsort(keys, kind="stable")[:count]
+        moved = frozenset(candidates[c] for c in chosen)
+        return _apply_move(solution, src_idx, dst_idx, moved)
+
+
 def construct_neighbors(
     solution: UpperLevelSolution,
     cluster: Cluster,
@@ -139,6 +298,11 @@ def construct_neighbors(
 ) -> List[UpperLevelSolution]:
     """Generate up to ``num_neighbors`` feasible, distinct neighbours of a solution.
 
+    The whole neighbourhood comes from one vectorized move plan: the attempt
+    sequence and every move parameter (indices, ratios, phases, moved subsets)
+    are sampled up front with a single RNG draw per kind (:class:`_MovePlan`),
+    then materialised until enough feasible, distinct candidates are found.
+
     ``moves`` restricts the allowed move set; the lightweight rescheduler passes
     ``["flip"]`` so that only phase designations change (§3.4).  ``exclude_keys``
     (typically the tabu list) rejects candidates during generation, so the batch
@@ -146,27 +310,21 @@ def construct_neighbors(
     to instead of wasting attempts — and evaluations — on tabu revisits.
     """
     gen = ensure_rng(rng)
-    allowed = moves or ["flip", "split", "merge", "move"]
-    movers: dict[str, Callable[[], Optional[UpperLevelSolution]]] = {
-        "flip": lambda: flip_phase(solution, gen),
-        "split": lambda: split_group(solution, gen),
-        "merge": lambda: merge_groups(solution, gen),
-        "move": lambda: move_gpus(solution, cluster, gen),
-    }
-    unknown = set(allowed) - set(movers)
+    allowed = list(moves) if moves else list(_KNOWN_MOVES)
+    unknown = set(allowed) - set(_KNOWN_MOVES)
     if unknown:
         raise ValueError(f"unknown neighbourhood moves: {sorted(unknown)}")
 
+    max_attempts = max_attempts_factor * num_neighbors
+    plan = _MovePlan(gen, allowed, max_attempts, solution, cluster)
     neighbors: List[UpperLevelSolution] = []
     seen = {solution.key()}
     if exclude_keys is not None:
         seen.update(exclude_keys)
-    attempts = 0
-    max_attempts = max_attempts_factor * num_neighbors
-    while len(neighbors) < num_neighbors and attempts < max_attempts:
-        attempts += 1
-        move = str(gen.choice(allowed))
-        candidate = movers[move]()
+    for kind in plan.kinds:
+        if len(neighbors) >= num_neighbors:
+            break
+        candidate = plan.apply(kind)
         if candidate is None:
             continue
         if candidate.key() in seen:

@@ -132,7 +132,10 @@ class TabuSearch(Generic[S]):
         current_obj = self.objective(current)
         trace.num_evaluations += 1
         best, best_obj = current, current_obj
+        # The ordered list is the bounded memory; the set gives O(1) membership
+        # checks when filtering whole neighbourhood batches.
         tabu: List[Hashable] = [self.key_fn(current)]
+        tabu_set = set(tabu)
         trace.history.append((time.perf_counter() - start, best_obj))
 
         stale_steps = 0
@@ -150,7 +153,7 @@ class TabuSearch(Generic[S]):
             else:
                 neighbors = list(self.neighbor_fn(current, cfg.num_neighbors))
             # Exclude tabu solutions from navigation.
-            candidates = [n for n in neighbors if self.key_fn(n) not in tabu]
+            candidates = [n for n in neighbors if self.key_fn(n) not in tabu_set]
             if not candidates:
                 candidates = neighbors
             if not candidates:
@@ -168,6 +171,7 @@ class TabuSearch(Generic[S]):
             tabu.append(self.key_fn(step_best))
             if len(tabu) > cfg.memory_size:
                 tabu = tabu[-cfg.memory_size:]
+            tabu_set = set(tabu)
             current, current_obj = step_best, step_obj
             trace.history.append((time.perf_counter() - start, best_obj))
 

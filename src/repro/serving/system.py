@@ -96,6 +96,8 @@ class ThunderServe:
         self.coordinator: Optional[RequestCoordinator] = None
         self.schedule_result: Optional[ScheduleResult] = None
         self.events: List[ServeEvent] = []
+        #: simulator reused across serve() calls; rebuilt when the plan changes
+        self._simulator: Optional[ServingSimulator] = None
 
     # ------------------------------------------------------------------ deployment
     def deploy(self, seed: Optional[int] = None) -> DeploymentPlan:
@@ -122,6 +124,7 @@ class ThunderServe:
     def _install_plan(self, plan: DeploymentPlan, reason: str) -> None:
         self.plan = plan
         self.coordinator = RequestCoordinator(plan)
+        self._simulator = None
         self.events.append(ServeEvent(time=time.time(), kind="plan_installed", detail=reason))
 
     def require_plan(self) -> DeploymentPlan:
@@ -132,13 +135,20 @@ class ThunderServe:
 
     # ------------------------------------------------------------------ serving
     def serve(self, trace: Trace, label: str = "thunderserve") -> SimulationResult:
-        """Serve a request trace with the current deployment plan."""
+        """Serve a request trace with the current deployment plan.
+
+        The :class:`ServingSimulator` is cached between calls (``run`` resets all
+        simulator state, including the routing RNG, so reuse is exact): windowed
+        serving — adaptive rescheduling, failure scenarios — skips rebuilding the
+        replica cost models and keeps their memoized decode-step grids warm.
+        """
         plan = self.require_plan()
-        simulator = ServingSimulator(
-            self.cluster, plan, self.model, params=self.params, config=self.simulator_config
-        )
+        if self._simulator is None:
+            self._simulator = ServingSimulator(
+                self.cluster, plan, self.model, params=self.params, config=self.simulator_config
+            )
         self.profiler.observe_many(trace)
-        return simulator.run(trace, label=label)
+        return self._simulator.run(trace, label=label)
 
     def serve_adaptive(
         self,

@@ -14,6 +14,22 @@ The simulator replays a request trace against a :class:`DeploymentPlan`:
 
 The per-request :class:`RequestMetrics` collected here are what the end-to-end
 experiments (Figures 7–9, 11, 12, Tables 5 and 8) aggregate.
+
+Two decode engines implement the same semantics:
+
+* ``engine="fast"`` (the default) keeps per-replica struct-of-arrays state
+  (context lengths and remaining tokens as numpy arrays) and **coalesces decode
+  steps into epochs**: while a replica's batch membership cannot change (no
+  completion due, nothing newly admitted), the per-step latencies of the whole
+  jump are priced in one vectorized call against the memoized
+  :meth:`~repro.costmodel.latency.ReplicaCostModel.decode_step_grid` and a single
+  wake event replaces thousands of per-token heap events.  A KV arrival mid-epoch
+  truncates the epoch at the first step boundary after the arrival, exactly where
+  the per-event engine would admit the request.
+* ``engine="reference"`` retains the original one-heap-event-per-decode-step
+  implementation.  It is the ground truth the equivalence suite
+  (``tests/test_engine_equivalence.py``) and ``benchmarks/bench_simulator_core``
+  compare against: both engines produce bitwise-identical per-request metrics.
 """
 
 from __future__ import annotations
@@ -37,6 +53,9 @@ from repro.simulation.events import Event, EventKind, EventQueue
 from repro.simulation.metrics import SimulationResult
 from repro.workload.trace import Trace
 
+#: valid decode-engine selectors of :class:`SimulatorConfig`
+ENGINES = ("fast", "reference")
+
 
 @dataclass(frozen=True)
 class SimulatorConfig:
@@ -50,12 +69,18 @@ class SimulatorConfig:
     max_sim_time: Optional[float] = None
     #: RNG seed for routing draws
     seed: int = 0
+    #: decode-path implementation: "fast" (vectorized, event-coalescing) or
+    #: "reference" (one heap event per decode step); both produce identical
+    #: per-request metrics
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
         if self.max_prefill_batch_requests < 1:
             raise ValueError("max_prefill_batch_requests must be >= 1")
         if self.kv_block_size < 1:
             raise ValueError("kv_block_size must be >= 1")
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
 
 
 @dataclass
@@ -68,18 +93,38 @@ class _PrefillReplica:
     busy: bool = False
 
 
+def _empty_ids() -> np.ndarray:
+    return np.empty(0, dtype=np.int64)
+
+
 @dataclass
 class _DecodeReplica:
-    """Run-time state of one decode replica."""
+    """Run-time state of one decode replica.
+
+    The reference engine tracks the running batch in ``active`` (request_id ->
+    [context, remaining]); the fast engine keeps the same information as
+    struct-of-arrays (``ids`` / ``ctx`` / ``rem``) plus the precomputed step
+    boundary times of the current coalesced epoch.
+    """
 
     group_id: int
     cost: ReplicaCostModel
     kv: PagedKVCache
     max_batch: int
-    #: request_id -> [current context length, remaining tokens to generate]
+    #: request_id -> [current context length, remaining tokens] (reference engine)
     active: Dict[int, List[int]] = field(default_factory=dict)
     pending: Deque[Request] = field(default_factory=deque)
     stepping: bool = False
+    # ---- fast engine struct-of-arrays state ----
+    ids: np.ndarray = field(default_factory=_empty_ids)
+    ctx: np.ndarray = field(default_factory=_empty_ids)
+    rem: np.ndarray = field(default_factory=_empty_ids)
+    #: absolute times of the current epoch's step boundaries (b_1 .. b_K)
+    epoch_times: Optional[np.ndarray] = None
+    #: number of steps the scheduled wake will apply (truncation shortens this)
+    epoch_cut: int = 0
+    #: epoch generation counter; wake events carrying an older value are stale
+    epoch_seq: int = 0
 
 
 class ServingSimulator:
@@ -131,6 +176,25 @@ class ServingSimulator:
             [g.group_id for g in plan.prefill_groups],
             [g.group_id for g in plan.decode_groups],
         )
+        # Normalized routing distributions and their cumulative tables are fixed
+        # for the lifetime of the plan, so they are built once here instead of
+        # renormalizing x / x.sum() on every arrival.
+        x = self.routing.x
+        y = self.routing.y
+        self._x_norm = x / x.sum()
+        self._x_cdf = np.cumsum(self._x_norm)
+        row_sums = y.sum(axis=1, keepdims=True)
+        # Same activity threshold as RoutingPolicy's validator: a replica with
+        # meaningful traffic share but nowhere to dispatch must fail loudly, not
+        # silently route to the clamped last decode group; LP noise below the
+        # threshold is unreachable in practice and stays accepted.
+        if np.any((x > 1e-12) & (row_sums[:, 0] <= 0)):
+            raise SimulationError(
+                "routing policy has an active prefill replica with an all-zero dispatch row"
+            )
+        self._y_norm = y / np.where(row_sums > 0, row_sums, 1.0)
+        self._y_cdf = np.cumsum(self._y_norm, axis=1)
+
         self._events = EventQueue()
         self._metrics: Dict[int, RequestMetrics] = {}
         self._prefill_start: Dict[int, float] = {}
@@ -139,16 +203,28 @@ class ServingSimulator:
 
     # ------------------------------------------------------------------ dispatch
     def _choose_pair(self) -> Tuple[int, int]:
-        """Sample a (prefill group, decode group) pair from the routing policy."""
-        x = self.routing.x
-        i = int(self._rng.choice(len(x), p=x / x.sum()))
-        y_row = self.routing.y[i]
-        j = int(self._rng.choice(len(y_row), p=y_row / y_row.sum()))
+        """Sample a (prefill group, decode group) pair from the routing policy.
+
+        Inverse-CDF sampling against the precomputed cumulative tables; one
+        uniform draw per level instead of a full ``rng.choice`` with its per-call
+        probability validation.
+        """
+        i = int(np.searchsorted(self._x_cdf, self._rng.random(), side="right"))
+        i = min(i, self._x_cdf.size - 1)
+        row = self._y_cdf[i]
+        j = int(np.searchsorted(row, self._rng.random(), side="right"))
+        j = min(j, row.size - 1)
         return self.routing.prefill_group_ids[i], self.routing.decode_group_ids[j]
 
     # ------------------------------------------------------------------ run
     def run(self, trace: Trace, label: str = "thunderserve") -> SimulationResult:
-        """Replay a trace and return the per-request metrics."""
+        """Replay a trace and return the per-request metrics.
+
+        Every run starts from a clean slate — including the routing RNG — so a
+        simulator instance can be reused across traces (e.g. the windowed serving
+        of failure scenarios) with results identical to a freshly built one.
+        """
+        self._rng = ensure_rng(self.config.seed)
         self._events = EventQueue()
         self._metrics = {}
         self._prefill_start = {}
@@ -162,26 +238,48 @@ class ServingSimulator:
             replica.pending.clear()
             replica.kv.reset()
             replica.stepping = False
+            replica.ids = _empty_ids()
+            replica.ctx = _empty_ids()
+            replica.rem = _empty_ids()
+            replica.epoch_times = None
+            replica.epoch_cut = 0
+            replica.epoch_seq = 0
 
         for request in trace:
             self._events.push(Event(time=request.arrival_time, kind=EventKind.ARRIVAL, payload=request))
 
+        fast = self.config.engine == "fast"
         horizon = self.config.max_sim_time
+        truncated = False
         while self._events:
             event = self._events.pop()
             if horizon is not None and event.time > horizon:
+                truncated = True
                 break
+            if event.kind is EventKind.DECODE_WAKE:
+                replica = self.decodes[event.replica_id]
+                if event.payload != replica.epoch_seq:
+                    continue  # stale wake from a truncated epoch; no clock update
+                self._clock = max(self._clock, event.time)
+                self._apply_steps(replica, replica.epoch_cut)
+                self._plan_epoch(replica, event.time)
+                continue
             self._clock = max(self._clock, event.time)
             if event.kind is EventKind.ARRIVAL:
                 self._on_arrival(event.payload, event.time)
             elif event.kind is EventKind.PREFILL_DONE:
                 self._on_prefill_done(event.replica_id, event.payload, event.time)
             elif event.kind is EventKind.KV_ARRIVED:
-                self._on_kv_arrived(event.replica_id, event.payload, event.time)
+                if fast:
+                    self._on_kv_arrived_fast(event.replica_id, event.payload, event.time)
+                else:
+                    self._on_kv_arrived(event.replica_id, event.payload, event.time)
             elif event.kind is EventKind.DECODE_STEP:
                 self._on_decode_step(event.replica_id, event.time)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unexpected event kind {event.kind}")
+        if fast and truncated and horizon is not None:
+            self._flush_epochs(horizon)
 
         metrics = [self._metrics[rid] for rid in sorted(self._metrics)]
         return SimulationResult(
@@ -260,6 +358,156 @@ class ServingSimulator:
         # Keep the prefill replica busy with the next batch, if any.
         self._start_prefill_batch(replica, now)
 
+    # ------------------------------------------------------ decode (fast engine)
+    def _admit_pending_fast(self, replica: _DecodeReplica) -> None:
+        """Admit pending requests into the array state while capacity allows."""
+        new_ids: List[int] = []
+        new_ctx: List[int] = []
+        new_rem: List[int] = []
+        while replica.pending and replica.ids.size + len(new_ids) < replica.max_batch:
+            request = replica.pending[0]
+            final_context = request.total_tokens
+            if not replica.kv.can_allocate(final_context):
+                break
+            replica.pending.popleft()
+            replica.kv.allocate(request.request_id, final_context)
+            # The prefill already produced the first output token.
+            new_ids.append(request.request_id)
+            new_ctx.append(request.input_length + 1)
+            new_rem.append(request.output_length - 1)
+        if new_ids:
+            replica.ids = np.concatenate([replica.ids, np.asarray(new_ids, dtype=np.int64)])
+            replica.ctx = np.concatenate([replica.ctx, np.asarray(new_ctx, dtype=np.int64)])
+            replica.rem = np.concatenate([replica.rem, np.asarray(new_rem, dtype=np.int64)])
+
+    def _plan_epoch(self, replica: _DecodeReplica, now: float) -> None:
+        """Start a coalesced decode epoch at ``now``.
+
+        Precomputes the boundary time of every step until the batch membership
+        can next change: the first completion when requests are waiting (a
+        completion frees KV/batch capacity, so admission must be retried there),
+        or the full drain of the current batch when nothing is pending.  One
+        DECODE_WAKE event stands in for the whole jump; a KV arrival mid-epoch
+        truncates it at the first boundary after the arrival.
+        """
+        self._admit_pending_fast(replica)
+        n = int(replica.ids.size)
+        if n == 0:
+            replica.stepping = False
+            replica.epoch_times = None
+            replica.epoch_cut = 0
+            return
+        replica.stepping = True
+        rem = replica.rem
+        horizon_steps = int(rem.min()) if replica.pending else int(rem.max())
+        order = np.argsort(rem, kind="stable")
+        rem_sorted = rem[order]
+        ctx_sorted = replica.ctx[order]
+        t = np.arange(1, horizon_steps + 1, dtype=np.int64)
+        # Requests with rem <= t-1 have completed before step t begins.
+        dropped = np.searchsorted(rem_sorted, t - 1, side="right")
+        batch_t = n - dropped
+        suffix = np.zeros(n + 1, dtype=np.int64)
+        suffix[:n] = np.cumsum(ctx_sorted[::-1])[::-1]
+        # Sum of survivor contexts at the start of step t (each grew by t-1).
+        context_sum = suffix[dropped] + batch_t * (t - 1)
+        # int(np.mean(...)) of the reference engine: float64 division, truncation.
+        mean_ctx = (context_sum.astype(np.float64) / batch_t.astype(np.float64)).astype(np.int64)
+        np.maximum(mean_ctx, 1, out=mean_ctx)
+        latencies = replica.cost.decode_step_grid(batch_t, mean_ctx)
+        # Sequential accumulation, bitwise-identical to the reference engine's
+        # now += latency chain (np.cumsum accumulates left to right).
+        buffer = np.empty(horizon_steps + 1, dtype=np.float64)
+        buffer[0] = now
+        buffer[1:] = latencies
+        replica.epoch_times = np.cumsum(buffer)[1:]
+        replica.epoch_cut = horizon_steps
+        replica.epoch_seq += 1
+        self._events.push(
+            Event(
+                time=float(replica.epoch_times[-1]),
+                kind=EventKind.DECODE_WAKE,
+                replica_id=replica.group_id,
+                payload=replica.epoch_seq,
+            )
+        )
+
+    def _apply_steps(self, replica: _DecodeReplica, steps: int) -> None:
+        """Advance the replica's batch by ``steps`` tokens, completing expiries.
+
+        Requests whose remaining-token count expires inside the jump complete at
+        their exact per-step boundary time ``epoch_times[rem - 1]``.
+        """
+        if steps <= 0:
+            return
+        times = replica.epoch_times
+        rem = replica.rem
+        finished = rem <= steps
+        if finished.any():
+            assert times is not None
+            finished_ids = replica.ids[finished].tolist()
+            finished_times = times[rem[finished] - 1].tolist()
+            for request_id, done in zip(finished_ids, finished_times):
+                replica.kv.free(request_id)
+                metrics = self._metrics[request_id]
+                metrics.completion_time = done
+                metrics.finished = True
+            keep = ~finished
+            replica.ids = replica.ids[keep]
+            replica.ctx = replica.ctx[keep] + steps
+            replica.rem = replica.rem[keep] - steps
+        else:
+            replica.ctx = replica.ctx + steps
+            replica.rem = replica.rem - steps
+
+    def _on_kv_arrived_fast(self, replica_id: int, request: Request, now: float) -> None:
+        metrics = self._metrics[request.request_id]
+        metrics.kv_transfer_done = now
+        replica = self.decodes[replica_id]
+        head_was_blocked = bool(replica.pending)
+        replica.pending.append(request)
+        if not replica.stepping:
+            self._plan_epoch(replica, now)
+            return
+        if head_was_blocked:
+            # A FIFO head already waiting means admission is blocked on capacity
+            # that only a completion can free — the epoch end already covers it.
+            return
+        assert replica.epoch_times is not None
+        times = replica.epoch_times[: replica.epoch_cut]
+        # First step boundary at or after the arrival: that is where the
+        # reference engine's per-step admission would pick the request up.
+        idx = int(np.searchsorted(times, now, side="left"))
+        steps = idx + 1
+        if steps < replica.epoch_cut:
+            replica.epoch_cut = steps
+            replica.epoch_seq += 1
+            self._events.push(
+                Event(
+                    time=float(times[idx]),
+                    kind=EventKind.DECODE_WAKE,
+                    replica_id=replica.group_id,
+                    payload=replica.epoch_seq,
+                )
+            )
+
+    def _flush_epochs(self, horizon: float) -> None:
+        """Complete in-flight epoch steps up to ``horizon`` after a truncated run.
+
+        The reference engine processes every per-step event with time <= horizon
+        before stopping; coalesced epochs must replay the same boundaries so
+        horizon-bounded runs record identical completions.
+        """
+        for replica in self.decodes.values():
+            if not replica.stepping or replica.epoch_times is None:
+                continue
+            times = replica.epoch_times[: replica.epoch_cut]
+            steps = int(np.searchsorted(times, horizon, side="right"))
+            if steps > 0:
+                self._apply_steps(replica, steps)
+                self._clock = max(self._clock, float(times[steps - 1]))
+
+    # ------------------------------------------------- decode (reference engine)
     def _on_kv_arrived(self, replica_id: int, request: Request, now: float) -> None:
         metrics = self._metrics[request.request_id]
         metrics.kv_transfer_done = now
@@ -310,4 +558,4 @@ class ServingSimulator:
         self._schedule_decode_step(replica, now)
 
 
-__all__ = ["ServingSimulator", "SimulatorConfig"]
+__all__ = ["ServingSimulator", "SimulatorConfig", "ENGINES"]

@@ -18,6 +18,9 @@ class EventKind(str, enum.Enum):
     PREFILL_DONE = "prefill_done"
     KV_ARRIVED = "kv_arrived"
     DECODE_STEP = "decode_step"
+    #: end of a coalesced multi-step decode epoch (fast engine); the payload is
+    #: the epoch sequence number so truncated epochs can invalidate stale wakes
+    DECODE_WAKE = "decode_wake"
     REPLICA_STEP = "replica_step"  # co-located replicas (vLLM/HexGen baselines)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

@@ -148,6 +148,44 @@ class TestReplicaCostModel:
         assert cost_pp.prefill_latency(1024) > 0
         assert cost_tp.prefill_latency(1024) > 0
 
+    @pytest.mark.parametrize("pipelined", [False, True])
+    def test_decode_step_latency_array_matches_scalar_bitwise(
+        self, small_hetero_cluster_module, model_30b_module, pipelined
+    ):
+        """The vectorized decode-step kernel is the scalar model, element for
+        element — raw float equality, since the fast simulator engine's claim of
+        bitwise-identical metrics rests on it."""
+        import numpy as np
+
+        cluster, model = small_hetero_cluster_module, model_30b_module
+        a40 = [g.gpu_id for g in cluster.gpus_of_type("A40")]
+        if pipelined:
+            half = model.num_layers // 2
+            plan = ReplicaPlan.from_stage_lists([a40[:2], a40[2:]], [half, model.num_layers - half])
+        else:
+            plan = ReplicaPlan.from_stage_lists([a40], [model.num_layers])
+        cost = ReplicaCostModel(cluster, plan, model)
+        rng = np.random.default_rng(3)
+        batches = rng.integers(1, 257, size=300)
+        contexts = rng.integers(1, 4096, size=300)
+        vectorized = cost.decode_step_latency_array(batches, contexts)
+        scalar = np.array(
+            [cost.decode_step_latency(int(b), int(c)) for b, c in zip(batches, contexts)]
+        )
+        assert np.all(vectorized == scalar)
+        # The memo grid returns the same values, cold and warm.
+        assert np.all(cost.decode_step_grid(batches, contexts) == scalar)
+        assert np.all(cost.decode_step_grid(batches, contexts) == scalar)
+
+    def test_decode_step_latency_array_validates(self, a40_pair_cost):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            a40_pair_cost.decode_step_latency_array([1, 2], [0, 5])
+        with pytest.raises(ValueError):
+            a40_pair_cost.decode_step_latency_array([1, 2, 3], [1, 2])
+        assert a40_pair_cost.decode_step_latency_array([], []).size == 0
+
 
 class TestKVTransfer:
     def test_bytes_scale_with_tokens_and_bits(self, model_30b):

@@ -1,0 +1,175 @@
+"""Seeded equivalence of the vectorized decode core and the reference engine.
+
+The fast engine (struct-of-arrays state, coalesced decode epochs, memoized
+latency grid) must be *indistinguishable* from the retained per-event reference
+implementation: identical per-request metrics — bitwise, not approximately —
+identical completion order and identical makespan, across random traces,
+windowed (failure-style) serving, single-token outputs and horizon-truncated
+runs.  Any divergence here means the coalescing math drifted from the per-step
+semantics, so the assertions are exact equality on raw floats.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.types import Phase, Request
+from repro.costmodel.reference import a100_reference_latency
+from repro.hardware.cluster import make_two_datacenter_cluster
+from repro.model.architecture import get_model_config
+from repro.scheduling.lower_level import LowerLevelSolver
+from repro.scheduling.solution import UpperLevelSolution
+from repro.simulation.engine import ENGINES, ServingSimulator, SimulatorConfig
+from repro.workload.generator import generate_requests
+from repro.workload.spec import CONVERSATION_WORKLOAD, WorkloadSpec
+from repro.workload.trace import Trace
+
+CLUSTER = make_two_datacenter_cluster(inter_dc_gbps=5.0, seed=0)
+MODEL = get_model_config("llama-30b")
+
+
+def _plan():
+    a40 = [g.gpu_id for g in CLUSTER.gpus_of_type("A40")]
+    ti = [g.gpu_id for g in CLUSTER.gpus_of_type("3090Ti")]
+    solution = UpperLevelSolution.from_lists([(a40, Phase.PREFILL), (ti, Phase.DECODE)])
+    solver = LowerLevelSolver(
+        cluster=CLUSTER,
+        model=MODEL,
+        workload=CONVERSATION_WORKLOAD,
+        slo=a100_reference_latency(MODEL, CONVERSATION_WORKLOAD).slo_spec(8.0),
+        request_rate=3.0,
+    )
+    return solver.solve(solution).plan
+
+
+PLAN = _plan()
+
+#: every timing / assignment field recorded per request
+METRIC_FIELDS = (
+    "enqueue_time",
+    "prefill_start",
+    "first_token_time",
+    "kv_transfer_done",
+    "completion_time",
+    "prefill_replica",
+    "decode_replica",
+    "finished",
+)
+
+
+def _run(trace, engine, seed=0, horizon=None):
+    config = SimulatorConfig(seed=seed, engine=engine, max_sim_time=horizon)
+    return ServingSimulator(CLUSTER, PLAN, MODEL, config=config).run(trace)
+
+
+def _assert_identical(fast, reference, check_makespan=True):
+    assert len(fast.metrics) == len(reference.metrics)
+    for a, b in zip(fast.metrics, reference.metrics):
+        assert a.request.request_id == b.request.request_id
+        for name in METRIC_FIELDS:
+            assert getattr(a, name) == getattr(b, name), (
+                f"request {a.request.request_id}: {name} "
+                f"{getattr(a, name)!r} != {getattr(b, name)!r}"
+            )
+    # Identical completion order, not just identical completion times.
+    order_a = sorted(
+        (m.completion_time, m.request.request_id) for m in fast.metrics if m.finished
+    )
+    order_b = sorted(
+        (m.completion_time, m.request.request_id) for m in reference.metrics if m.finished
+    )
+    assert order_a == order_b
+    if check_makespan:
+        assert fast.makespan == reference.makespan
+
+
+@given(
+    median_in=st.integers(64, 1024),
+    median_out=st.integers(2, 192),
+    rate=st.floats(0.5, 8.0),
+    seed=st.integers(0, 10_000),
+    num_requests=st.integers(5, 40),
+)
+@settings(max_examples=12, deadline=None)
+def test_engines_identical_on_random_traces(median_in, median_out, rate, seed, num_requests):
+    """Both engines produce bitwise-identical metrics on random workloads."""
+    workload = WorkloadSpec(
+        name="prop",
+        median_input_length=float(median_in),
+        median_output_length=float(median_out),
+        input_sigma=0.3,
+        output_sigma=0.5,
+    )
+    trace = generate_requests(workload, rate, num_requests=num_requests, seed=seed)
+    _assert_identical(_run(trace, "fast", seed=seed), _run(trace, "reference", seed=seed))
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_engines_identical_with_single_token_outputs(seed):
+    """Single-token requests finish at prefill; mixing them in must not diverge."""
+    rng = np.random.default_rng(seed)
+    requests = []
+    for k in range(30):
+        requests.append(
+            Request(
+                request_id=k,
+                arrival_time=float(rng.uniform(0.0, 10.0)),
+                input_length=int(rng.integers(16, 512)),
+                output_length=1 if k % 3 == 0 else int(rng.integers(2, 64)),
+            )
+        )
+    trace = Trace(requests=requests, name="single-token-mix")
+    _assert_identical(_run(trace, "fast", seed=seed), _run(trace, "reference", seed=seed))
+
+
+@pytest.mark.parametrize("horizon", [0.5, 2.0, 8.0])
+def test_engines_identical_under_horizon(horizon):
+    """Horizon-truncated runs record the same completions up to the cut."""
+    trace = generate_requests(CONVERSATION_WORKLOAD, 6.0, num_requests=50, seed=11)
+    fast = _run(trace, "fast", seed=1, horizon=horizon)
+    reference = _run(trace, "reference", seed=1, horizon=horizon)
+    _assert_identical(fast, reference)
+
+
+def test_engines_identical_across_windows():
+    """Windowed serving (the failure-scenario pattern) matches window by window.
+
+    Also covers simulator reuse: each engine serves every window on one
+    simulator instance, which must equal a freshly built simulator per window.
+    """
+    trace = generate_requests(CONVERSATION_WORKLOAD, 5.0, num_requests=60, seed=3)
+    edges = [0.0, 4.0, 9.0, float("inf")]
+    sims = {
+        engine: ServingSimulator(
+            CLUSTER, PLAN, MODEL, config=SimulatorConfig(seed=0, engine=engine)
+        )
+        for engine in ENGINES
+    }
+    for start, end in zip(edges[:-1], edges[1:]):
+        window = trace.window(start, end)
+        if window.is_empty:
+            continue
+        reused_fast = sims["fast"].run(window)
+        reused_reference = sims["reference"].run(window)
+        fresh_fast = _run(window, "fast")
+        _assert_identical(reused_fast, reused_reference)
+        _assert_identical(reused_fast, fresh_fast)
+
+
+def test_engine_config_validated():
+    assert SimulatorConfig().engine == "fast"
+    with pytest.raises(ValueError):
+        SimulatorConfig(engine="warp")
+
+
+def test_heavy_load_blocked_admissions_identical():
+    """Saturating load exercises blocked pending queues and truncated epochs."""
+    workload = WorkloadSpec(
+        name="heavy",
+        median_input_length=1024.0,
+        median_output_length=256.0,
+        input_sigma=0.2,
+        output_sigma=0.3,
+    )
+    trace = generate_requests(workload, 12.0, num_requests=60, seed=5)
+    _assert_identical(_run(trace, "fast", seed=2), _run(trace, "reference", seed=2))

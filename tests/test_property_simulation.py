@@ -86,7 +86,11 @@ def test_poisson_trace_statistics(rate, seed, duration):
     assert all(0.0 <= t < duration for t in arrivals)
     expected = rate * duration
     if expected >= 30:
-        assert 0.5 * expected < len(trace) < 1.6 * expected
+        # A 5-sigma window keeps the per-example false-failure probability
+        # below ~1e-6 (a fixed multiplicative band is eventually falsified by
+        # ordinary Poisson tails once hypothesis explores enough seeds).
+        slack = 5.0 * expected**0.5
+        assert expected - slack < len(trace) < expected + slack
 
 
 @given(seed=st.integers(0, 100))

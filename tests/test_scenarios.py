@@ -22,6 +22,7 @@ from repro.scenarios.library import MultiTenantSLOTiersScenario, TenantTier
 from repro.scheduling.scheduler import Scheduler, SchedulerConfig
 from repro.scheduling.tabu import TabuSearchConfig
 from repro.serving.system import ThunderServe
+from repro.simulation.engine import SimulatorConfig
 from repro.workload.spec import CONVERSATION_WORKLOAD
 
 #: short trace length used throughout: long enough for dozens of requests,
@@ -168,3 +169,59 @@ def test_sweep_is_deterministic(cloud_cluster, model_30b, cloud_plan):
     assert a.num_requests == b.num_requests
     assert a.attainment_e2e == b.attainment_e2e
     assert a.output_token_throughput == b.output_token_throughput
+
+
+def _outcomes_semantically_equal(a, b) -> bool:
+    """Outcome equality up to wall-clock (elapsed_s legitimately differs)."""
+    return (
+        a.num_requests == b.num_requests
+        and a.num_finished == b.num_finished
+        and a.attainment_e2e == b.attainment_e2e
+        and a.attainment_ttft == b.attainment_ttft
+        and a.attainment_tpot == b.attainment_tpot
+        and a.output_token_throughput == b.output_token_throughput
+        and a.num_plan_changes == b.num_plan_changes
+        and a.per_tenant_attainment == b.per_tenant_attainment
+    )
+
+
+def test_sweep_engines_agree_through_failure_windows(cloud_cluster, model_30b, cloud_plan):
+    """Fast and reference simulator engines match across the sweep, including the
+    windowed failure-injection path (spot preemption reschedules between windows)."""
+    scenarios = [
+        get_scenario("spot-preemption", duration=SMOKE_DURATION),
+        get_scenario("bursty", duration=SMOKE_DURATION),
+    ]
+    outcomes = {}
+    for engine in ("fast", "reference"):
+        sweep = ScenarioSweep(
+            scenarios, seed=4, simulator_config=SimulatorConfig(engine=engine)
+        )
+        outcomes[engine] = sweep.evaluate(cloud_cluster, model_30b, cloud_plan)
+    for name in outcomes["fast"]:
+        a, b = outcomes["fast"][name], outcomes["reference"][name]
+        assert _outcomes_semantically_equal(a, b), name
+        assert a.result is not None and b.result is not None
+        for ma, mb in zip(a.result.metrics, b.result.metrics):
+            assert ma.completion_time == mb.completion_time
+            assert ma.first_token_time == mb.first_token_time
+
+
+def test_sweep_process_executor_matches_threads(cloud_cluster, model_30b, cloud_plan):
+    """executor="process" returns outcomes equal to thread mode."""
+    scenarios = [
+        get_scenario("diurnal", duration=SMOKE_DURATION),
+        get_scenario("agentic-mix", duration=SMOKE_DURATION),
+    ]
+    thread = ScenarioSweep(scenarios, seed=1).evaluate(cloud_cluster, model_30b, cloud_plan)
+    process = ScenarioSweep(scenarios, seed=1, executor="process", max_workers=2).evaluate(
+        cloud_cluster, model_30b, cloud_plan
+    )
+    assert set(thread) == set(process)
+    for name in thread:
+        assert _outcomes_semantically_equal(thread[name], process[name]), name
+
+
+def test_sweep_rejects_unknown_executor():
+    with pytest.raises(ValueError):
+        ScenarioSweep(executor="fiber")

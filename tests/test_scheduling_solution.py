@@ -120,6 +120,33 @@ class TestNeighborMoves:
         assert moved.all_gpu_ids == simple_solution.all_gpu_ids
         assert moved.num_groups == simple_solution.num_groups
 
+    def test_move_samples_the_moved_subset(self, cloud_cluster):
+        """The moved GPU set varies across seeds for a fixed move shape.
+
+        With one donor group of a single GPU type and a one-GPU destination, the
+        only degrees of freedom are the move count and *which* GPUs move; a
+        sorted-prefix implementation pins the subset per count, so every count
+        must show at least two distinct subsets across seeds.
+        """
+        type_name = cloud_cluster.gpus[0].type_name
+        donor = [g.gpu_id for g in cloud_cluster.gpus_of_type(type_name)][:8]
+        other = [g for g in cloud_cluster.gpu_ids if g not in donor][:1]
+        solution = UpperLevelSolution.from_lists(
+            [(donor, Phase.DECODE), (other, Phase.PREFILL)]
+        )
+        subsets_by_count: dict = {}
+        for seed in range(60):
+            moved = move_gpus(solution, cloud_cluster, rng=seed)
+            if moved is None:
+                continue
+            dst = next(g for g in moved.groups if set(other) <= set(g.gpu_ids))
+            subset = frozenset(dst.gpu_ids) - frozenset(other)
+            subsets_by_count.setdefault(len(subset), set()).add(subset)
+        assert any(len(subsets) > 1 for subsets in subsets_by_count.values()), (
+            "every move count always produced the same GPU subset: "
+            "the moved set is not being sampled"
+        )
+
     def test_split_none_for_singleton_groups(self):
         solution = UpperLevelSolution.from_lists([([0], Phase.PREFILL), ([1], Phase.DECODE)])
         assert split_group(solution, rng=0) is None

@@ -47,8 +47,10 @@ class TestEventQueue:
 
 
 class TestServingSimulator:
-    def test_all_requests_finish(self, small_hetero_cluster, small_plan, model_30b, small_trace):
-        simulator = ServingSimulator(small_hetero_cluster, small_plan, model_30b)
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_all_requests_finish(self, small_hetero_cluster, small_plan, model_30b, small_trace, engine):
+        config = SimulatorConfig(engine=engine)
+        simulator = ServingSimulator(small_hetero_cluster, small_plan, model_30b, config=config)
         result = simulator.run(small_trace)
         assert result.num_requests == len(small_trace)
         assert result.num_finished == len(small_trace)
@@ -67,12 +69,23 @@ class TestServingSimulator:
             assert metrics.completion_time >= metrics.kv_transfer_done - 1e-9
             assert metrics.ttft <= metrics.e2e_latency + 1e-9
 
-    def test_deterministic_given_seed(self, small_hetero_cluster, small_plan, model_30b, small_trace):
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_deterministic_given_seed(self, small_hetero_cluster, small_plan, model_30b, small_trace, engine):
         a = ServingSimulator(small_hetero_cluster, small_plan, model_30b,
-                             config=SimulatorConfig(seed=5)).run(small_trace)
+                             config=SimulatorConfig(seed=5, engine=engine)).run(small_trace)
         b = ServingSimulator(small_hetero_cluster, small_plan, model_30b,
-                             config=SimulatorConfig(seed=5)).run(small_trace)
+                             config=SimulatorConfig(seed=5, engine=engine)).run(small_trace)
         assert [m.completion_time for m in a.metrics] == [m.completion_time for m in b.metrics]
+
+    def test_repeated_runs_on_one_instance_are_identical(self, small_hetero_cluster, small_plan, model_30b, small_trace):
+        """run() resets all state (including the routing RNG), so a simulator can
+        be reused across traces — the basis of ThunderServe's simulator cache."""
+        simulator = ServingSimulator(small_hetero_cluster, small_plan, model_30b,
+                                     config=SimulatorConfig(seed=5))
+        a = simulator.run(small_trace)
+        b = simulator.run(small_trace)
+        assert [m.completion_time for m in a.metrics] == [m.completion_time for m in b.metrics]
+        assert a.makespan == b.makespan
 
     def test_replica_assignment_matches_plan_groups(self, small_hetero_cluster, small_plan, model_30b, small_trace):
         result = ServingSimulator(small_hetero_cluster, small_plan, model_30b).run(small_trace)
