@@ -1,0 +1,167 @@
+"""Bench regression gate: compare a fresh BENCH_simcore.json against a baseline.
+
+The CI bench-smoke job used to run every benchmark under a blanket
+``continue-on-error``, which made the whole step advisory — engine-agreement
+breaks and order-of-magnitude perf regressions alike shipped silently.  This
+script splits the signal from the noise:
+
+**Gating** (non-zero exit):
+
+* the fresh run is missing or unreadable (the benchmark crashed);
+* ``identical_metrics`` is false — the fast engine diverged from the per-event
+  reference engine, which is a correctness break, not a perf wobble;
+* the fast-vs-reference **speedup ratio** regressed by more than
+  ``--max-regression`` (default 30%) against the committed baseline.  The ratio
+  is measured fast vs. reference *on the same machine in the same run*, so
+  shared-runner slowness largely cancels out of it;
+* the long-decode trace did not fully drain;
+* the baseline and fresh run used different benchmark modes (a reduced-mode
+  run must not be judged against a full-mode baseline, or vice versa).
+
+**Non-gating** (printed as warnings): absolute wall-clock movements.  Those are
+dominated by runner hardware and CPU steal, so they stay advisory.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/baselines/BENCH_simcore_reduced.json \
+        --fresh BENCH_simcore.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Fractional speedup loss vs. the baseline above which the gate fails.
+DEFAULT_MAX_REGRESSION = 0.30
+
+#: Fractional absolute wall-clock growth above which a (non-gating) warning is
+#: printed.  Deliberately loose: shared runners routinely move 2x.
+WALLCLOCK_WARN_FACTOR = 2.0
+
+
+def load_report(path: str) -> Optional[Dict]:
+    """Load a benchmark JSON report; ``None`` when missing or unparsable."""
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def compare(
+    baseline: Dict, fresh: Dict, max_regression: float = DEFAULT_MAX_REGRESSION
+) -> Tuple[List[str], List[str]]:
+    """Return ``(failures, warnings)`` for a fresh report against a baseline."""
+    failures: List[str] = []
+    warnings: List[str] = []
+
+    base_mode = baseline.get("mode")
+    fresh_mode = fresh.get("mode")
+    if base_mode != fresh_mode:
+        failures.append(
+            f"benchmark mode mismatch: baseline is {base_mode!r} but the fresh "
+            f"run is {fresh_mode!r}; regenerate the baseline in the same mode"
+        )
+        return failures, warnings
+
+    if not fresh.get("identical_metrics", False):
+        failures.append(
+            "identical_metrics is false: the fast engine diverged from the "
+            "per-event reference engine (correctness break, not a perf wobble)"
+        )
+
+    finished = fresh.get("num_finished_fast")
+    requests = fresh.get("num_requests")
+    if finished is None or requests is None:
+        # Guard the gate itself: a payload that stops reporting these keys must
+        # not pass vacuously (None == None).
+        failures.append(
+            "num_finished_fast/num_requests missing from the fresh report"
+        )
+    elif finished != requests:
+        failures.append(
+            f"trace did not drain: {finished} of {requests} requests finished"
+        )
+
+    try:
+        base_speedup = float(baseline["speedup"])
+        fresh_speedup = float(fresh["speedup"])
+    except (KeyError, TypeError, ValueError):
+        failures.append("speedup missing from baseline or fresh report")
+    else:
+        floor = base_speedup * (1.0 - max_regression)
+        if fresh_speedup < floor:
+            failures.append(
+                f"speedup regressed more than {max_regression:.0%}: "
+                f"{fresh_speedup:.2f}x vs baseline {base_speedup:.2f}x "
+                f"(floor {floor:.2f}x)"
+            )
+
+    base_wall = baseline.get("t_fast_s")
+    fresh_wall = fresh.get("t_fast_s")
+    if (
+        isinstance(base_wall, (int, float))
+        and isinstance(fresh_wall, (int, float))
+        and base_wall > 0
+        and fresh_wall > WALLCLOCK_WARN_FACTOR * base_wall
+    ):
+        warnings.append(
+            f"fast-engine wall clock grew {fresh_wall / base_wall:.1f}x "
+            f"({base_wall:.3f}s -> {fresh_wall:.3f}s); non-gating (runner noise)"
+        )
+
+    return failures, warnings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/baselines/BENCH_simcore_reduced.json",
+        help="committed baseline report (mode must match the fresh run)",
+    )
+    parser.add_argument(
+        "--fresh",
+        default="BENCH_simcore.json",
+        help="report written by the benchmark run under test",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help="fractional speedup loss that fails the gate (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_report(args.baseline)
+    if baseline is None:
+        print(f"FAIL: baseline report {args.baseline!r} missing or unreadable")
+        return 1
+    fresh = load_report(args.fresh)
+    if fresh is None:
+        print(
+            f"FAIL: fresh report {args.fresh!r} missing or unreadable — "
+            "did the benchmark run crash?"
+        )
+        return 1
+
+    failures, warnings = compare(baseline, fresh, max_regression=args.max_regression)
+    for message in warnings:
+        print(f"WARN: {message}")
+    if failures:
+        for message in failures:
+            print(f"FAIL: {message}")
+        return 1
+    print(
+        f"OK: speedup {fresh['speedup']}x vs baseline {baseline['speedup']}x "
+        f"(mode {fresh.get('mode')!r}), metrics bitwise-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

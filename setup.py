@@ -1,22 +1,13 @@
-"""Setuptools entry point.
+"""Setuptools shim.
 
-The offline environment ships setuptools but not the ``wheel`` package, so PEP 660
-editable installs (which build a wheel) are unavailable; this classic ``setup.py``
-lets ``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
+All metadata (name, dependencies, the ``dev`` extra, the src/ layout) lives in
+``pyproject.toml``; setuptools >= 61 reads it from there.  The shim is kept for
+tooling that still drives the legacy ``setup.py`` entry points.  Note the
+offline dev environment ships no ``wheel`` package, so editable installs are
+unavailable there — run from the tree with ``PYTHONPATH=src`` instead (the
+tier-1 recipe in ROADMAP.md); networked CI installs via ``pip install -e .[dev]``.
 """
 
-from setuptools import find_packages, setup
+from setuptools import setup
 
-setup(
-    name="repro",
-    version="0.1.0",
-    description=(
-        "Reproduction of ThunderServe: High-performance and Cost-efficient LLM "
-        "Serving in Cloud Environments (MLSys 2025)"
-    ),
-    python_requires=">=3.10",
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    install_requires=["numpy", "scipy", "networkx"],
-    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
-)
+setup()

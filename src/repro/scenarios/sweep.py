@@ -21,6 +21,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.exceptions import SchedulingError
 from repro.core.rng import ensure_rng
 from repro.core.types import SLOType
 from repro.costmodel.latency import CostModelParams, DEFAULT_PARAMS
@@ -31,6 +32,7 @@ from repro.scenarios.base import Scenario
 from repro.scenarios.library import MultiTenantSLOTiersScenario
 from repro.scenarios.registry import default_scenarios
 from repro.scheduling.deployment import DeploymentPlan
+from repro.scheduling.robust import scenario_slo
 from repro.scheduling.scheduler import SchedulerConfig
 from repro.serving.system import ThunderServe
 from repro.simulation.engine import SimulatorConfig
@@ -59,6 +61,8 @@ class ScenarioOutcome:
     per_tenant_attainment: Dict[str, float] = field(default_factory=dict)
     #: the merged simulation result, for downstream analysis
     result: Optional[SimulationResult] = None
+    #: serving failure captured under ``on_error="zero"`` (None on success)
+    error: Optional[str] = None
 
 
 class ScenarioSweep:
@@ -80,9 +84,19 @@ class ScenarioSweep:
         each scenario's seeds derive only from the sweep seed and its name.
     scheduler_config, simulator_config, params:
         Forwarded to the per-scenario serving systems.
+    on_error:
+        ``"raise"`` (default) propagates a scenario's serving failure and aborts
+        the sweep; ``"zero"`` records a :class:`SchedulingError` as a
+        zero-attainment :class:`ScenarioOutcome` (``error`` carries the
+        message) and keeps the other scenarios.  Robust-mode comparisons use
+        ``"zero"``: a plan that cannot survive a scenario — e.g. rescheduling
+        is infeasible after a preemption — has operationally failed it, which
+        is signal, not an abort-worthy exception.  Non-scheduling exceptions
+        (worker crashes, pickling problems) propagate under both policies.
     """
 
     EXECUTORS = ("thread", "process")
+    ON_ERROR = ("raise", "zero")
 
     def __init__(
         self,
@@ -93,6 +107,7 @@ class ScenarioSweep:
         scheduler_config: Optional[SchedulerConfig] = None,
         simulator_config: Optional[SimulatorConfig] = None,
         params: CostModelParams = DEFAULT_PARAMS,
+        on_error: str = "raise",
     ) -> None:
         self.scenarios: Tuple[Scenario, ...] = (
             tuple(scenarios) if scenarios is not None else default_scenarios()
@@ -104,6 +119,9 @@ class ScenarioSweep:
             raise ValueError(f"scenario names must be unique, got {names}")
         if executor not in self.EXECUTORS:
             raise ValueError(f"executor must be one of {self.EXECUTORS}, got {executor!r}")
+        if on_error not in self.ON_ERROR:
+            raise ValueError(f"on_error must be one of {self.ON_ERROR}, got {on_error!r}")
+        self.on_error = on_error
         self.seed = seed
         self.max_workers = max_workers
         self.executor = executor
@@ -133,20 +151,50 @@ class ScenarioSweep:
         pool_cls = ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
         with pool_cls(max_workers=workers) as pool:
             futures = {
-                scenario.name: pool.submit(_run_scenario, self, scenario, cluster, model, plan)
+                scenario: pool.submit(_run_scenario, self, scenario, cluster, model, plan)
                 for scenario in self.scenarios
             }
-            return {name: fut.result() for name, fut in futures.items()}
+            outcomes: Dict[str, ScenarioOutcome] = {}
+            for scenario, fut in futures.items():
+                try:
+                    outcomes[scenario.name] = fut.result()
+                except SchedulingError as exc:
+                    # Only the documented serving-failure class is demoted to a
+                    # zero outcome; infrastructure errors (broken pools, pickle
+                    # failures) always propagate — a scenario that never ran is
+                    # not a scenario the plan failed.
+                    if self.on_error == "raise":
+                        raise
+                    outcomes[scenario.name] = self._failed_outcome(scenario, exc)
+            return outcomes
+
+    def _failed_outcome(self, scenario: Scenario, exc: Exception) -> ScenarioOutcome:
+        """Zero-attainment outcome for a scenario the plan could not survive."""
+        return ScenarioOutcome(
+            scenario=scenario.name,
+            description=scenario.description,
+            num_requests=0,
+            num_finished=0,
+            slo_scale=scenario.slo_scale(),
+            attainment_e2e=0.0,
+            attainment_ttft=0.0,
+            attainment_tpot=0.0,
+            output_token_throughput=0.0,
+            mean_e2e=float("inf"),
+            num_plan_changes=0,
+            elapsed_s=0.0,
+            error=f"{type(exc).__name__}: {exc}",
+        )
 
     def _build_system(
         self, scenario: Scenario, cluster: Cluster, model: ModelConfig
     ) -> ThunderServe:
         workload = scenario.planning_workload()
         # The scenario's own SLO tier must govern any mid-run rescheduling, not
-        # ThunderServe's default 5x reference scale.
-        slo = a100_reference_latency(model, workload, params=self.params).slo_spec(
-            scenario.slo_scale()
-        )
+        # ThunderServe's default 5x reference scale.  The derivation is shared
+        # with robust scheduling so the optimised objective and the served
+        # attainment measure the same contract.
+        slo = scenario_slo(scenario, model, params=self.params)
         return ThunderServe(
             cluster,
             model,
@@ -244,6 +292,24 @@ class ScenarioSweep:
         return per_tenant
 
     # ------------------------------------------------------------------ reporting
+    @staticmethod
+    def summarize(outcomes: Dict[str, ScenarioOutcome]) -> Dict[str, float | str]:
+        """Cross-scenario aggregate of a sweep: worst-case and mean E2E attainment.
+
+        This is the served-side counterpart of the robust objective — the
+        ``robust_vs_static`` experiment reports both so the estimator-optimised
+        worst case can be checked against the simulated one.
+        """
+        if not outcomes:
+            raise ValueError("cannot summarize an empty sweep")
+        worst = min(outcomes, key=lambda name: outcomes[name].attainment_e2e)
+        values = [o.attainment_e2e for o in outcomes.values()]
+        return {
+            "worst_scenario": worst,
+            "worst_attainment": outcomes[worst].attainment_e2e,
+            "mean_attainment": sum(values) / len(values),
+        }
+
     @staticmethod
     def to_table(outcomes: Dict[str, ScenarioOutcome], precision: int = 3) -> str:
         """Render sweep outcomes as an aligned text table."""

@@ -14,7 +14,7 @@ before the (comparatively expensive) lower-level evaluation.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, List, Optional
+from typing import Callable, FrozenSet, Hashable, Iterable, List, Optional
 
 import numpy as np
 
@@ -31,15 +31,26 @@ def _random_phase(rng: np.random.Generator) -> Phase:
 
 
 def _feasible(
-    cluster: Cluster, model: ModelConfig, solution: UpperLevelSolution, kv_reserve_fraction: float
+    cluster: Cluster,
+    model: ModelConfig,
+    solution: UpperLevelSolution,
+    kv_reserve_fraction: float,
+    can_hold: Optional[Callable[[FrozenSet[int]], bool]] = None,
 ) -> bool:
-    """Early feasibility check: every group can hold the model, both phases exist."""
+    """Early feasibility check: every group can hold the model, both phases exist.
+
+    ``can_hold`` optionally replaces the raw memory check with a memoised one —
+    candidates of one neighbourhood share most of their groups with the base
+    solution, so a per-batch memo turns the per-candidate cost into a lookup.
+    """
     if solution.num_groups >= 2 and (solution.num_prefill == 0 or solution.num_decode == 0):
         return False
-    return all(
-        group_can_hold_model(cluster, g.gpu_ids, model, kv_reserve_fraction)
-        for g in solution.groups
-    )
+    if can_hold is None:
+        return all(
+            group_can_hold_model(cluster, g.gpu_ids, model, kv_reserve_fraction)
+            for g in solution.groups
+        )
+    return all(can_hold(g.gpu_ids) for g in solution.groups)
 
 
 # ------------------------------------------------------------------- appliers
@@ -321,6 +332,19 @@ def construct_neighbors(
     seen = {solution.key()}
     if exclude_keys is not None:
         seen.update(exclude_keys)
+
+    # Memoise the per-group memory check for the duration of this batch: the
+    # candidates share most groups with the base solution (and each other), so
+    # each distinct GPU set is checked once per neighbourhood, not per candidate.
+    hold_memo: dict[FrozenSet[int], bool] = {}
+
+    def can_hold(gpu_ids: FrozenSet[int]) -> bool:
+        ok = hold_memo.get(gpu_ids)
+        if ok is None:
+            ok = group_can_hold_model(cluster, gpu_ids, model, kv_reserve_fraction)
+            hold_memo[gpu_ids] = ok
+        return ok
+
     for kind in plan.kinds:
         if len(neighbors) >= num_neighbors:
             break
@@ -329,7 +353,7 @@ def construct_neighbors(
             continue
         if candidate.key() in seen:
             continue
-        if not _feasible(cluster, model, candidate, kv_reserve_fraction):
+        if not _feasible(cluster, model, candidate, kv_reserve_fraction, can_hold=can_hold):
             continue
         seen.add(candidate.key())
         neighbors.append(candidate)

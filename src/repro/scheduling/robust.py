@@ -1,0 +1,280 @@
+"""Robust scenario-aware scheduling (closes the ROADMAP's top open item).
+
+The single-workload scheduler optimises ``f(x)`` — the estimated SLO attainment
+of an upper-level solution — for one workload spec.  Production deployments face
+a *set* of operating conditions (the scenario library), and a plan tuned for one
+of them can be badly exposed under another.  Robust mode makes the tabu search
+optimise an aggregate of the per-scenario objectives directly:
+
+* ``min`` — maximise the worst-case scenario objective (the classic robust
+  optimisation stance);
+* ``mix`` — maximise a weighted mean over scenarios (weights default to
+  uniform; an all-zero or negative weight vector is rejected);
+* ``cvar`` — maximise the Conditional Value at Risk: the mean of the worst
+  ``ceil(alpha * K)`` scenario objectives, interpolating between ``min``
+  (``alpha -> 0``) and the uniform mean (``alpha = 1``).
+
+The inner evaluator is the same per-scenario objective the
+:class:`~repro.scenarios.sweep.ScenarioSweep` pins its SLO tiers to: each
+scenario gets its own :class:`~repro.scheduling.lower_level.LowerLevelSolver`
+built from the scenario's planning workload, request rate and SLO tier
+(:func:`scenario_slo` is the shared derivation).  Scoring stays affordable
+because everything that can be shared *is* shared:
+
+* parallel-plan deduction is memoised in **one cache across all scenario
+  solvers**, keyed by the GPU set, the phase and the workload's planning shape
+  (the rounded mean lengths are all the deduction consumes), so scenarios that
+  plan for the same shape — typically most of the library — pay a
+  neighbourhood's plan-feasibility work once, not once per scenario;
+* each solver memoises its objective per solution key, so tabu revisits and
+  duplicate candidates cost nothing;
+* each solver's estimator keeps its vectorized per-replica latency grids warm
+  across the whole search.
+
+Batch scoring is scenario-major: every solver scores the whole neighbourhood in
+one pass before the next solver starts, keeping its caches hot, and the
+aggregate is then taken per candidate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.types import SLOSpec
+from repro.costmodel.latency import CostModelParams, DEFAULT_PARAMS
+from repro.costmodel.reference import a100_reference_latency
+from repro.model.architecture import ModelConfig
+from repro.scheduling.deployment import DeploymentPlan
+from repro.scheduling.lower_level import LowerLevelResult, LowerLevelSolver
+from repro.scheduling.solution import UpperLevelSolution
+from repro.scheduling.tabu import SearchTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a package cycle
+    from repro.scenarios.base import Scenario
+
+
+#: Aggregation kinds understood by :class:`RobustObjective`.
+AGGREGATE_KINDS = ("min", "mix", "cvar")
+
+
+def scenario_slo(
+    scenario: "Scenario", model: ModelConfig, params: CostModelParams = DEFAULT_PARAMS
+) -> SLOSpec:
+    """The SLO tier a scenario holds a deployment to (shared with the sweep).
+
+    Deadlines are the scenario's own :meth:`~repro.scenarios.base.Scenario.slo_scale`
+    multiple of the A100 reference latency of its planning workload — the same
+    contract :class:`~repro.scenarios.sweep.ScenarioSweep` serves against, so the
+    robust objective and the sweep's reported attainment measure the same thing.
+    """
+    workload = scenario.planning_workload()
+    return a100_reference_latency(model, workload, params=params).slo_spec(
+        scenario.slo_scale()
+    )
+
+
+@dataclass(frozen=True)
+class RobustObjective:
+    """How per-scenario objectives are folded into one robust objective.
+
+    Parameters
+    ----------
+    kind:
+        ``"min"`` (worst case, the default), ``"mix"`` (weighted mean) or
+        ``"cvar"`` (mean of the worst ``ceil(cvar_alpha * K)`` scenarios).
+    weights:
+        Per-scenario weights for ``"mix"``, aligned with the scenario order
+        handed to the scheduler.  ``None`` means uniform.  Must be non-negative
+        with a positive sum; ignored by the other kinds.
+    cvar_alpha:
+        Tail fraction for ``"cvar"``, in ``(0, 1]``.
+    """
+
+    kind: str = "min"
+    weights: Optional[Tuple[float, ...]] = None
+    cvar_alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.kind not in AGGREGATE_KINDS:
+            raise ValueError(
+                f"unknown robust objective kind {self.kind!r}; known: {AGGREGATE_KINDS}"
+            )
+        if self.weights is not None:
+            weights = tuple(float(w) for w in self.weights)
+            object.__setattr__(self, "weights", weights)
+            if not weights:
+                raise ValueError("weights must be non-empty when given")
+            if any(not math.isfinite(w) for w in weights):
+                raise ValueError(f"weights must be finite, got {weights}")
+            if any(w < 0 for w in weights):
+                raise ValueError(f"weights must be non-negative, got {weights}")
+            if sum(weights) <= 0:
+                raise ValueError("weights must not be all zero")
+        if not 0 < self.cvar_alpha <= 1:
+            raise ValueError("cvar_alpha must be in (0, 1]")
+
+    # ------------------------------------------------------------------ factories
+    @classmethod
+    def worst_case(cls) -> "RobustObjective":
+        """Maximise the worst-case scenario objective."""
+        return cls(kind="min")
+
+    @classmethod
+    def weighted_mix(cls, weights: Sequence[float]) -> "RobustObjective":
+        """Maximise a weighted mean of the scenario objectives."""
+        return cls(kind="mix", weights=tuple(weights))
+
+    @classmethod
+    def cvar(cls, alpha: float = 0.3) -> "RobustObjective":
+        """Maximise the mean of the worst ``ceil(alpha * K)`` scenario objectives."""
+        return cls(kind="cvar", cvar_alpha=alpha)
+
+    # ------------------------------------------------------------------ validation
+    def validate_for(self, num_scenarios: int) -> None:
+        """Check this objective is usable with ``num_scenarios`` scenarios."""
+        if num_scenarios < 1:
+            raise ValueError("robust scheduling needs at least one scenario")
+        if self.kind == "mix" and self.weights is not None and len(self.weights) != num_scenarios:
+            raise ValueError(
+                f"{len(self.weights)} weights given for {num_scenarios} scenarios"
+            )
+
+    # ------------------------------------------------------------------ aggregate
+    def aggregate(self, scores: Sequence[float]) -> float:
+        """Fold per-scenario objective values into the robust objective."""
+        values = [float(s) for s in scores]
+        if not values:
+            raise ValueError("cannot aggregate an empty score vector")
+        if self.kind == "min":
+            return min(values)
+        if self.kind == "mix":
+            weights = self.weights or tuple(1.0 for _ in values)
+            if len(weights) != len(values):
+                raise ValueError(
+                    f"{len(weights)} weights for {len(values)} scenario scores"
+                )
+            total = sum(weights)
+            return sum(w * v for w, v in zip(weights, values)) / total
+        # kind == "cvar": mean of the worst ceil(alpha * K) scores
+        k = max(1, math.ceil(self.cvar_alpha * len(values)))
+        tail = sorted(values)[:k]
+        return sum(tail) / k
+
+
+class RobustEvaluator:
+    """Scores upper-level solutions across a scenario set for the tabu search.
+
+    Parameters
+    ----------
+    solvers:
+        ``(scenario_name, solver)`` pairs in scenario order (the order aligns
+        ``mix`` weights).  Build the solvers with a shared plan cache
+        (:meth:`~repro.scheduling.scheduler.Scheduler.build_solver` accepts
+        ``plan_cache``) so parallel-plan deduction is paid once per group.
+    objective:
+        The aggregation rule.
+    """
+
+    def __init__(
+        self,
+        solvers: Sequence[Tuple[str, LowerLevelSolver]],
+        objective: RobustObjective,
+    ) -> None:
+        self._solvers: List[Tuple[str, LowerLevelSolver]] = list(solvers)
+        if not self._solvers:
+            raise ValueError("robust scheduling needs at least one scenario solver")
+        names = [name for name, _ in self._solvers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"scenario names must be unique, got {names}")
+        objective.validate_for(len(self._solvers))
+        self.objective = objective
+
+    @property
+    def scenario_names(self) -> List[str]:
+        """Scenario names in aggregation order."""
+        return [name for name, _ in self._solvers]
+
+    def scenario_scores(self, solution: UpperLevelSolution) -> Dict[str, float]:
+        """Per-scenario objective values of one solution (memoised per solver)."""
+        return {name: solver.evaluate(solution) for name, solver in self._solvers}
+
+    def evaluate(self, solution: UpperLevelSolution) -> float:
+        """Robust objective of one solution."""
+        return self.objective.aggregate(
+            [solver.evaluate(solution) for _, solver in self._solvers]
+        )
+
+    def evaluate_batch(self, solutions: Sequence[UpperLevelSolution]) -> List[float]:
+        """Robust objectives of a whole neighbourhood batch.
+
+        Scenario-major: each solver scores every candidate in one pass (keeping
+        its estimator grids and objective memo hot) before the next solver runs;
+        the aggregate is then taken candidate by candidate.
+        """
+        per_scenario = [solver.evaluate_batch(solutions) for _, solver in self._solvers]
+        return [
+            self.objective.aggregate([scores[k] for scores in per_scenario])
+            for k in range(len(solutions))
+        ]
+
+
+@dataclass
+class RobustScheduleResult:
+    """Output of a robust scheduling run.
+
+    The returned ``plan`` is the best solution solved under its **binding**
+    scenario — the worst estimated attainment among the scenarios the solution
+    is feasible under — so the installed routing is tuned for the operating
+    condition the plan is most exposed to; ``per_scenario`` holds the full
+    lower-level result under every scenario (individually infeasible scenarios
+    appear with ``feasible=False`` and zero attainment) for downstream analysis.
+    """
+
+    plan: DeploymentPlan
+    #: aggregate robust objective of the winning solution
+    objective: float
+    trace: SearchTrace
+    solution: UpperLevelSolution
+    robust: RobustObjective
+    per_scenario: Dict[str, LowerLevelResult] = field(default_factory=dict)
+    #: binding scenario: worst estimated attainment among *feasible* scenarios
+    worst_scenario: str = ""
+    elapsed_s: float = 0.0
+
+    @property
+    def per_scenario_attainment(self) -> Dict[str, float]:
+        """Estimated SLO attainment of the winning solution under each scenario.
+
+        Individually infeasible scenarios report 0.0 — the plan serves nothing
+        there, which is exactly what a worst-case reading should see.
+        """
+        return {name: r.estimated_attainment for name, r in self.per_scenario.items()}
+
+    @property
+    def worst_case_attainment(self) -> float:
+        """Worst per-scenario estimated attainment (0.0 if any scenario is infeasible).
+
+        Note this can name a different scenario than ``worst_scenario``:
+        ``worst_scenario`` is the *binding* scenario — the worst among those the
+        solution is feasible under, i.e. the one the installed plan's routing
+        is tuned for — while this minimum also counts infeasible scenarios at
+        zero.  The two coincide whenever every scenario is feasible.
+        """
+        return min(self.per_scenario_attainment.values())
+
+    @property
+    def mean_attainment(self) -> float:
+        """Unweighted mean per-scenario estimated attainment."""
+        values = list(self.per_scenario_attainment.values())
+        return sum(values) / len(values)
+
+
+__all__ = [
+    "AGGREGATE_KINDS",
+    "RobustObjective",
+    "RobustEvaluator",
+    "RobustScheduleResult",
+    "scenario_slo",
+]

@@ -96,11 +96,20 @@ class UpperLevelSolution:
         return sum(1 for g in self.groups if g.phase is Phase.DECODE)
 
     def key(self) -> Tuple:
-        """Hashable canonical key used by the tabu list."""
-        return tuple(
-            (tuple(sorted(g.gpu_ids)), g.phase.value)
-            for g in self.canonical().groups
-        )
+        """Hashable canonical key used by the tabu list.
+
+        Cached on first use: the key is consulted by neighbourhood dedup, the
+        tabu list and every per-scenario objective memo, so robust scheduling
+        asks for it many times per candidate.
+        """
+        cached = getattr(self, "_key", None)
+        if cached is None:
+            cached = tuple(
+                (tuple(sorted(g.gpu_ids)), g.phase.value)
+                for g in self.canonical().groups
+            )
+            object.__setattr__(self, "_key", cached)
+        return cached
 
     def describe(self) -> str:
         """One-line summary like ``[4 gpus->prefill | 4 gpus->decode | ...]``."""

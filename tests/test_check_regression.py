@@ -1,0 +1,136 @@
+"""Unit tests for the CI bench regression gate (benchmarks/check_regression.py).
+
+The acceptance criterion for the gate is that it *demonstrably fails* on an
+injected regression — these tests inject each failure mode (speedup collapse,
+engine divergence, undrained trace, mode mismatch, missing report) and assert a
+non-zero exit, plus the healthy path returning zero.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+# The benchmarks directory is not a package; import the script by path.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+import check_regression  # noqa: E402
+
+
+def report(**overrides):
+    payload = {
+        "benchmark": "bench_simulator_core",
+        "mode": "reduced",
+        "num_requests": 240,
+        "decode_tokens": 27073,
+        "t_fast_s": 0.05,
+        "t_reference_s": 0.2,
+        "speedup": 4.0,
+        "speedup_bar": 2.0,
+        "identical_metrics": True,
+        "num_finished_fast": 240,
+        "num_finished_reference": 240,
+    }
+    payload.update(overrides)
+    return payload
+
+
+def write(path: Path, payload) -> str:
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestCompare:
+    def test_healthy_run_passes(self):
+        failures, warnings = check_regression.compare(report(), report(speedup=3.9))
+        assert failures == []
+        assert warnings == []
+
+    def test_injected_speedup_regression_fails(self):
+        # >30% below the baseline: 4.0x -> 2.0x must trip the gate.
+        failures, _ = check_regression.compare(report(), report(speedup=2.0))
+        assert any("regressed" in f for f in failures)
+
+    def test_regression_at_exactly_the_floor_passes(self):
+        failures, _ = check_regression.compare(report(), report(speedup=2.8))
+        assert failures == []
+
+    def test_divergent_metrics_fail(self):
+        failures, _ = check_regression.compare(report(), report(identical_metrics=False))
+        assert any("identical_metrics" in f for f in failures)
+
+    def test_undrained_trace_fails(self):
+        failures, _ = check_regression.compare(report(), report(num_finished_fast=239))
+        assert any("did not drain" in f for f in failures)
+
+    def test_mode_mismatch_fails(self):
+        failures, _ = check_regression.compare(report(mode="full"), report())
+        assert any("mode mismatch" in f for f in failures)
+
+    def test_wallclock_growth_warns_but_does_not_fail(self):
+        failures, warnings = check_regression.compare(report(), report(t_fast_s=0.5))
+        assert failures == []
+        assert any("non-gating" in w for w in warnings)
+
+    def test_missing_drain_counters_fail_instead_of_passing_vacuously(self):
+        fresh = report()
+        del fresh["num_finished_fast"]
+        del fresh["num_requests"]
+        failures, _ = check_regression.compare(report(), fresh)
+        assert any("missing from the fresh report" in f for f in failures)
+
+    def test_missing_speedup_fails(self):
+        fresh = report()
+        del fresh["speedup"]
+        failures, _ = check_regression.compare(report(), fresh)
+        assert any("speedup missing" in f for f in failures)
+
+
+class TestMain:
+    def test_healthy_exit_zero(self, tmp_path, capsys):
+        base = write(tmp_path / "base.json", report())
+        fresh = write(tmp_path / "fresh.json", report(speedup=3.8))
+        assert check_regression.main(["--baseline", base, "--fresh", fresh]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_injected_regression_exit_nonzero(self, tmp_path, capsys):
+        base = write(tmp_path / "base.json", report())
+        fresh = write(tmp_path / "fresh.json", report(speedup=1.5))
+        assert check_regression.main(["--baseline", base, "--fresh", fresh]) == 1
+        assert "FAIL:" in capsys.readouterr().out
+
+    def test_missing_fresh_report_exit_nonzero(self, tmp_path):
+        base = write(tmp_path / "base.json", report())
+        missing = str(tmp_path / "does-not-exist.json")
+        assert check_regression.main(["--baseline", base, "--fresh", missing]) == 1
+
+    def test_unparsable_fresh_report_exit_nonzero(self, tmp_path):
+        base = write(tmp_path / "base.json", report())
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        assert check_regression.main(["--baseline", base, "--fresh", str(broken)]) == 1
+
+    def test_custom_tolerance_respected(self, tmp_path):
+        base = write(tmp_path / "base.json", report())
+        fresh = write(tmp_path / "fresh.json", report(speedup=2.5))
+        # 2.5x is a 37.5% regression: fails at the default 30% tolerance...
+        assert check_regression.main(["--baseline", base, "--fresh", fresh]) == 1
+        # ...but passes when the operator loosens the gate to 50%.
+        assert (
+            check_regression.main(
+                ["--baseline", base, "--fresh", fresh, "--max-regression", "0.5"]
+            )
+            == 0
+        )
+
+    def test_gates_against_the_committed_baseline(self, tmp_path):
+        """The committed reduced-mode baseline is readable and self-consistent."""
+        committed = Path(__file__).resolve().parent.parent / (
+            "benchmarks/baselines/BENCH_simcore_reduced.json"
+        )
+        baseline = check_regression.load_report(str(committed))
+        assert baseline is not None
+        assert baseline["mode"] == "reduced"
+        # A fresh run identical to the baseline must pass its own gate.
+        failures, _ = check_regression.compare(baseline, baseline)
+        assert failures == []

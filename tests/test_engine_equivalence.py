@@ -24,6 +24,11 @@ from repro.workload.generator import generate_requests
 from repro.workload.spec import CONVERSATION_WORKLOAD, WorkloadSpec
 from repro.workload.trace import Trace
 
+# Property/equivalence suites are exhaustive by design; CI runs them in the
+# dedicated slow job (-m "slow or integration") to keep the fast matrix quick.
+pytestmark = pytest.mark.slow
+
+
 CLUSTER = make_two_datacenter_cluster(inter_dc_gbps=5.0, seed=0)
 MODEL = get_model_config("llama-30b")
 

@@ -26,6 +26,11 @@ from repro.scheduling.solution import UpperLevelSolution
 from repro.simulation.engine import ServingSimulator, SimulatorConfig
 from repro.workload.generator import generate_requests
 
+# Property/equivalence suites are exhaustive by design; CI runs them in the
+# dedicated slow job (-m "slow or integration") to keep the fast matrix quick.
+pytestmark = pytest.mark.slow
+
+
 #: request rate of the fixture fleet (comfortably below its capacity)
 REQUEST_RATE = 0.5
 #: SLO scales swept by the harness (multiples of the A100 reference latency)

@@ -22,6 +22,11 @@ from repro.scheduling.deployment import ServingGroup
 from repro.scheduling.estimator import SLOEstimator
 from repro.workload.spec import WorkloadSpec
 
+# Property/equivalence suites are exhaustive by design; CI runs them in the
+# dedicated slow job (-m "slow or integration") to keep the fast matrix quick.
+pytestmark = pytest.mark.slow
+
+
 
 workload_specs = st.builds(
     WorkloadSpec,

@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) for the KV quantization codec."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
@@ -9,6 +10,10 @@ from repro.kvcache.quantization import (
     dequantize_groupwise,
     quantize_groupwise,
 )
+
+# Property/equivalence suites are exhaustive by design; CI runs them in the
+# dedicated slow job (-m "slow or integration") to keep the fast matrix quick.
+pytestmark = pytest.mark.slow
 
 
 float_arrays = hnp.arrays(

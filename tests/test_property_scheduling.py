@@ -13,6 +13,11 @@ from repro.scheduling.neighbors import construct_neighbors
 from repro.scheduling.orchestration import solve_orchestration
 from repro.scheduling.solution import UpperLevelSolution
 
+# Property/equivalence suites are exhaustive by design; CI runs them in the
+# dedicated slow job (-m "slow or integration") to keep the fast matrix quick.
+pytestmark = pytest.mark.slow
+
+
 
 CLUSTER = make_cloud_cluster(seed=0)
 MODEL_30B = get_model_config("llama-30b")

@@ -1,6 +1,7 @@
 """Property-based tests for simulator conservation laws and workload generation."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.types import SLOType
@@ -9,6 +10,11 @@ from repro.model.architecture import get_model_config
 from repro.simulation.engine import ServingSimulator, SimulatorConfig
 from repro.workload.generator import generate_requests
 from repro.workload.spec import WorkloadSpec
+
+# Property/equivalence suites are exhaustive by design; CI runs them in the
+# dedicated slow job (-m "slow or integration") to keep the fast matrix quick.
+pytestmark = pytest.mark.slow
+
 
 
 CLUSTER = make_two_datacenter_cluster(inter_dc_gbps=5.0, seed=0)

@@ -1,0 +1,230 @@
+"""Tests for robust scenario-aware scheduling and the robust_vs_static harness.
+
+The degenerate cases pin the mode's contract: an empty scenario set is an error,
+a one-scenario robust run reproduces the single-workload schedule bitwise under
+the same seed, and nonsensical weight vectors are rejected at construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cluster import make_two_datacenter_cluster
+from repro.model.architecture import get_model_config
+from repro.scenarios.registry import default_scenarios, get_scenario
+from repro.scheduling.robust import RobustEvaluator, RobustObjective, scenario_slo
+from repro.scheduling.scheduler import Scheduler, SchedulerConfig
+from repro.scheduling.tabu import TabuSearchConfig
+
+
+def tiny_scheduler(seed=0):
+    return Scheduler(
+        SchedulerConfig(
+            tabu=TabuSearchConfig(num_steps=6, num_neighbors=4, memory_size=5, patience=4),
+            seed=seed,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def two_dc():
+    cluster = make_two_datacenter_cluster(inter_dc_gbps=5.0, seed=0)
+    model = get_model_config("llama-30b")
+    return cluster, model
+
+
+class TestRobustObjective:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown robust objective kind"):
+            RobustObjective(kind="median")
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError, match="all zero"):
+            RobustObjective.weighted_mix([0.0, 0.0, 0.0])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            RobustObjective.weighted_mix([1.0, -0.5])
+
+    def test_nan_and_inf_weights_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            RobustObjective.weighted_mix([float("nan"), 1.0])
+        with pytest.raises(ValueError, match="finite"):
+            RobustObjective.weighted_mix([float("inf"), 1.0])
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            RobustObjective(kind="mix", weights=())
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5])
+    def test_cvar_alpha_bounds(self, alpha):
+        with pytest.raises(ValueError, match="cvar_alpha"):
+            RobustObjective.cvar(alpha)
+
+    def test_weight_count_must_match_scenarios(self):
+        objective = RobustObjective.weighted_mix([1.0, 2.0])
+        with pytest.raises(ValueError, match="weights given for"):
+            objective.validate_for(3)
+
+    def test_min_aggregate(self):
+        assert RobustObjective.worst_case().aggregate([0.6, 0.2, 0.9]) == 0.2
+
+    def test_mix_aggregate_uniform_and_weighted(self):
+        assert RobustObjective(kind="mix").aggregate([0.2, 0.4]) == pytest.approx(0.3)
+        weighted = RobustObjective.weighted_mix([3.0, 1.0])
+        assert weighted.aggregate([0.2, 0.4]) == pytest.approx(0.25)
+
+    def test_cvar_interpolates_min_and_mean(self):
+        scores = [0.1, 0.5, 0.9]
+        nearly_min = RobustObjective.cvar(1e-9).aggregate(scores)
+        mean = RobustObjective.cvar(1.0).aggregate(scores)
+        assert nearly_min == pytest.approx(0.1)
+        assert mean == pytest.approx(0.5)
+        half = RobustObjective.cvar(0.5).aggregate(scores)  # worst 2 of 3
+        assert half == pytest.approx(0.3)
+
+    def test_aggregate_empty_scores_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            RobustObjective.worst_case().aggregate([])
+
+
+class TestScheduleRobustDegenerate:
+    def test_empty_scenario_set_raises(self, two_dc):
+        cluster, model = two_dc
+        with pytest.raises(ValueError, match="at least one scenario"):
+            tiny_scheduler().schedule_robust(cluster, model, [])
+
+    def test_duplicate_scenario_names_raise(self, two_dc):
+        cluster, model = two_dc
+        scenario = get_scenario("diurnal", duration=30.0)
+        with pytest.raises(ValueError, match="unique"):
+            tiny_scheduler().schedule_robust(cluster, model, [scenario, scenario])
+
+    def test_evaluator_requires_solvers(self):
+        with pytest.raises(ValueError, match="at least one scenario solver"):
+            RobustEvaluator([], RobustObjective.worst_case())
+
+    def test_one_scenario_reproduces_single_workload_plan_bitwise(self, two_dc):
+        cluster, model = two_dc
+        scenario = get_scenario("diurnal", duration=60.0)
+        slo = scenario_slo(scenario, model)
+        static = tiny_scheduler(seed=7).schedule(
+            cluster, model, scenario.planning_workload(), scenario.request_rate, slo=slo
+        )
+        robust = tiny_scheduler(seed=7).schedule_robust(cluster, model, [scenario])
+
+        assert robust.solution.key() == static.solution.key()
+        assert robust.objective == static.objective
+        static_groups = [(tuple(sorted(g.gpu_ids)), g.phase, g.plan) for g in static.plan.groups]
+        robust_groups = [(tuple(sorted(g.gpu_ids)), g.phase, g.plan) for g in robust.plan.groups]
+        assert static_groups == robust_groups
+        assert np.array_equal(static.plan.routing.x, robust.plan.routing.x)
+        assert np.array_equal(static.plan.routing.y, robust.plan.routing.y)
+
+
+class TestScheduleRobust:
+    @pytest.fixture(scope="class")
+    def robust_run(self, two_dc):
+        cluster, model = two_dc
+        scenarios = default_scenarios(duration=60.0)
+        result = tiny_scheduler(seed=1).schedule_robust(cluster, model, scenarios)
+        return scenarios, result
+
+    def test_per_scenario_results_cover_library(self, robust_run):
+        scenarios, result = robust_run
+        assert set(result.per_scenario) == {s.name for s in scenarios}
+        for lower in result.per_scenario.values():
+            assert lower.feasible and lower.plan is not None
+
+    def test_worst_scenario_is_the_minimum(self, robust_run):
+        _, result = robust_run
+        attainment = result.per_scenario_attainment
+        assert result.worst_scenario == min(attainment, key=attainment.get)
+        assert result.worst_case_attainment == pytest.approx(min(attainment.values()))
+        assert result.mean_attainment >= result.worst_case_attainment
+
+    def test_plan_is_solved_under_binding_scenario(self, robust_run):
+        _, result = robust_run
+        binding = result.per_scenario[result.worst_scenario]
+        assert binding.plan is not None
+        assert result.plan.routing is not None
+        assert np.array_equal(result.plan.routing.x, binding.plan.routing.x)
+
+    def test_warm_start_guarantees_no_worse_objective(self, two_dc):
+        cluster, model = two_dc
+        scenarios = default_scenarios(duration=60.0)
+        cold = tiny_scheduler(seed=2).schedule_robust(cluster, model, scenarios)
+        warm = tiny_scheduler(seed=2).schedule_robust(
+            cluster, model, scenarios, initial_solution=cold.solution
+        )
+        assert warm.objective >= cold.objective - 1e-12
+
+    def test_scenario_order_does_not_change_the_result(self, two_dc):
+        """The shared plan cache is keyed by planning shape, so whichever
+        scenario scores a group first cannot poison the others' deductions."""
+        cluster, model = two_dc
+        scenarios = list(default_scenarios(duration=60.0))
+        assert len({s.planning_workload().mean_input_length for s in scenarios}) > 1
+        fwd = tiny_scheduler(seed=3).schedule_robust(cluster, model, scenarios)
+        rev = tiny_scheduler(seed=3).schedule_robust(
+            cluster, model, list(reversed(scenarios))
+        )
+        assert fwd.solution.key() == rev.solution.key()
+        assert fwd.objective == rev.objective
+        assert fwd.per_scenario_attainment == rev.per_scenario_attainment
+
+    def test_mix_weights_change_the_objective_scale(self, two_dc):
+        cluster, model = two_dc
+        scenarios = default_scenarios(duration=60.0)
+        worst = tiny_scheduler(seed=1).schedule_robust(cluster, model, scenarios)
+        mean = tiny_scheduler(seed=1).schedule_robust(
+            cluster, model, scenarios, robust=RobustObjective(kind="mix")
+        )
+        # The mean over scenarios always dominates the min over scenarios.
+        assert mean.objective >= worst.objective
+
+
+class TestDeployRobust:
+    def test_deploy_robust_installs_binding_plan(self, two_dc):
+        from repro.serving.system import ThunderServe
+        from repro.workload.spec import CONVERSATION_WORKLOAD
+
+        cluster, model = two_dc
+        scenarios = default_scenarios(duration=60.0)
+        system = ThunderServe(
+            cluster,
+            model,
+            CONVERSATION_WORKLOAD,
+            request_rate=3.0,
+            scheduler_config=tiny_scheduler(seed=1).config,
+        )
+        plan = system.deploy_robust(scenarios)
+        assert system.plan is plan
+        assert system.robust_result is not None
+        # A robust deployment supersedes any single-workload schedule result.
+        assert system.schedule_result is None
+        assert system.robust_result.worst_scenario in {s.name for s in scenarios}
+        events = [e for e in system.events if e.kind == "plan_installed"]
+        assert any("robust deployment" in e.detail for e in events)
+
+
+@pytest.mark.integration
+def test_robust_vs_static_experiment_worst_case_not_worse():
+    """Acceptance: the robust plan's worst case >= the static plan's worst case."""
+    from repro.experiments.robust_vs_static import run
+
+    result = run(cluster_name="cloud", num_steps=12, num_neighbors=5, seed=0)
+    aggregates = result.extras["aggregates"]
+    assert aggregates["robust_worst"] >= aggregates["static_worst"] - 1e-12
+    # Structural invariant, seed-independent: the warm-started robust search
+    # always evaluates the static solution, so its aggregate objective wins.
+    assert (
+        aggregates["robust_objective"] >= aggregates["static_robust_objective"] - 1e-12
+    )
+
+    # Six scenario rows plus the WORST-CASE and MEAN aggregate rows.
+    assert len(result.rows) == 8
+    names = [row[0] for row in result.rows]
+    assert names[-2:] == ["WORST-CASE", "MEAN"]
+    worst_row = result.rows[-2]
+    assert worst_row[1] == pytest.approx(aggregates["static_worst"])
+    assert worst_row[2] == pytest.approx(aggregates["robust_worst"])

@@ -225,3 +225,73 @@ def test_sweep_process_executor_matches_threads(cloud_cluster, model_30b, cloud_
 def test_sweep_rejects_unknown_executor():
     with pytest.raises(ValueError):
         ScenarioSweep(executor="fiber")
+
+
+def test_sweep_rejects_unknown_on_error_policy():
+    with pytest.raises(ValueError):
+        ScenarioSweep(on_error="ignore")
+
+
+def test_sweep_on_error_zero_records_failure_as_zero_attainment(monkeypatch):
+    """A scenario the plan cannot survive scores 0 instead of aborting the sweep."""
+    from repro.core.exceptions import SchedulingError
+    from repro.scenarios import sweep as sweep_module
+
+    scenarios = [
+        get_scenario("diurnal", duration=SMOKE_DURATION),
+        get_scenario("bursty", duration=SMOKE_DURATION),
+    ]
+    real_run = sweep_module._run_scenario
+
+    def failing_run(sweep, scenario, cluster, model, plan):
+        if scenario.name == "bursty":
+            raise SchedulingError("injected: rescheduling infeasible")
+        return real_run(sweep, scenario, cluster, model, plan)
+
+    monkeypatch.setattr(sweep_module, "_run_scenario", failing_run)
+
+    strict = ScenarioSweep(scenarios, seed=2)
+    with pytest.raises(SchedulingError):
+        # Dummy cluster/model/plan are fine: the failure fires before serving.
+        strict.evaluate(*_tiny_serving_context())
+
+    lenient = ScenarioSweep(scenarios, seed=2, on_error="zero")
+    outcomes = lenient.evaluate(*_tiny_serving_context())
+    assert outcomes["bursty"].attainment_e2e == 0.0
+    assert outcomes["bursty"].error is not None
+    assert "injected" in outcomes["bursty"].error
+    assert outcomes["diurnal"].error is None
+    assert outcomes["diurnal"].num_requests > 0
+
+    summary = ScenarioSweep.summarize(outcomes)
+    assert summary["worst_scenario"] == "bursty"
+    assert summary["worst_attainment"] == 0.0
+
+
+_TINY_CONTEXT = {}
+
+
+def _tiny_serving_context():
+    """One shared (cluster, model, plan) for the on_error tests (built once)."""
+    if not _TINY_CONTEXT:
+        from repro.hardware.cluster import make_two_datacenter_cluster
+        from repro.model.architecture import get_model_config
+
+        cluster = make_two_datacenter_cluster(inter_dc_gbps=5.0, seed=0)
+        model = get_model_config("llama-30b")
+        scheduler = Scheduler(
+            SchedulerConfig(
+                tabu=TabuSearchConfig(num_steps=4, num_neighbors=3, memory_size=5, patience=3),
+                seed=0,
+            )
+        )
+        plan = scheduler.schedule(
+            cluster, model, CONVERSATION_WORKLOAD, request_rate=3.0
+        ).plan
+        _TINY_CONTEXT["ctx"] = (cluster, model, plan)
+    return _TINY_CONTEXT["ctx"]
+
+
+def test_summarize_rejects_empty():
+    with pytest.raises(ValueError):
+        ScenarioSweep.summarize({})
