@@ -1,4 +1,4 @@
-"""Bench regression gate: compare a fresh BENCH_simcore.json against a baseline.
+"""Bench regression gate: compare fresh benchmark reports against committed baselines.
 
 The CI bench-smoke job used to run every benchmark under a blanket
 ``continue-on-error``, which made the whole step advisory — engine-agreement
@@ -26,6 +26,14 @@ Usage::
     python benchmarks/check_regression.py \
         --baseline benchmarks/baselines/BENCH_simcore_reduced.json \
         --fresh BENCH_simcore.json
+
+Several (baseline, fresh) pairs can be gated in one invocation — the CI
+bench-smoke job checks the decode-core and prefill-pipeline benchmarks
+together, under identical rules::
+
+    python benchmarks/check_regression.py \
+        --pair benchmarks/baselines/BENCH_simcore_reduced.json BENCH_simcore.json \
+        --pair benchmarks/baselines/BENCH_prefill_reduced.json BENCH_prefill.json
 """
 
 from __future__ import annotations
@@ -117,6 +125,36 @@ def compare(
     return failures, warnings
 
 
+def check_pair(baseline_path: str, fresh_path: str, max_regression: float) -> int:
+    """Gate one (baseline, fresh) report pair; returns the number of failures."""
+    baseline = load_report(baseline_path)
+    if baseline is None:
+        print(f"FAIL: baseline report {baseline_path!r} missing or unreadable")
+        return 1
+    fresh = load_report(fresh_path)
+    if fresh is None:
+        print(
+            f"FAIL: fresh report {fresh_path!r} missing or unreadable — "
+            "did the benchmark run crash?"
+        )
+        return 1
+
+    name = fresh.get("benchmark", fresh_path)
+    failures, warnings = compare(baseline, fresh, max_regression=max_regression)
+    for message in warnings:
+        print(f"WARN: [{name}] {message}")
+    if failures:
+        for message in failures:
+            print(f"FAIL: [{name}] {message}")
+        return len(failures)
+    print(
+        f"OK: [{name}] speedup {fresh['speedup']}x vs baseline "
+        f"{baseline['speedup']}x (mode {fresh.get('mode')!r}), "
+        "metrics bitwise-identical"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -130,6 +168,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="report written by the benchmark run under test",
     )
     parser.add_argument(
+        "--pair",
+        nargs=2,
+        action="append",
+        metavar=("BASELINE", "FRESH"),
+        help="gate an additional (baseline, fresh) report pair; repeatable — "
+        "when given, --baseline/--fresh are ignored",
+    )
+    parser.add_argument(
         "--max-regression",
         type=float,
         default=DEFAULT_MAX_REGRESSION,
@@ -137,30 +183,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline = load_report(args.baseline)
-    if baseline is None:
-        print(f"FAIL: baseline report {args.baseline!r} missing or unreadable")
-        return 1
-    fresh = load_report(args.fresh)
-    if fresh is None:
-        print(
-            f"FAIL: fresh report {args.fresh!r} missing or unreadable — "
-            "did the benchmark run crash?"
+    pairs = args.pair if args.pair else [(args.baseline, args.fresh)]
+    total_failures = 0
+    for baseline_path, fresh_path in pairs:
+        total_failures += check_pair(
+            baseline_path, fresh_path, max_regression=args.max_regression
         )
-        return 1
-
-    failures, warnings = compare(baseline, fresh, max_regression=args.max_regression)
-    for message in warnings:
-        print(f"WARN: {message}")
-    if failures:
-        for message in failures:
-            print(f"FAIL: {message}")
-        return 1
-    print(
-        f"OK: speedup {fresh['speedup']}x vs baseline {baseline['speedup']}x "
-        f"(mode {fresh.get('mode')!r}), metrics bitwise-identical"
-    )
-    return 0
+    return 1 if total_failures else 0
 
 
 if __name__ == "__main__":

@@ -96,6 +96,17 @@ DEFAULT_PARAMS = CostModelParams()
 #: MB — the memo simply restarts cold when it fills)
 DECODE_STEP_MEMO_MAX = 262_144
 
+#: cap on the per-replica prefill-latency memo (keys are (input_length,
+#: batch_size); prompt lengths are far more diverse than decode grid points, so
+#: the cap is smaller — the memo restarts cold when it fills)
+PREFILL_LATENCY_MEMO_MAX = 65_536
+
+#: default number of requests coalesced into one prefill batch, shared by the
+#: discrete-event simulators (``SimulatorConfig.max_prefill_batch_requests``,
+#: ``ColocatedSimulator``) and the scheduler's :class:`SLOEstimator` so the
+#: analytic queueing model and the simulated execution assume the same batching
+DEFAULT_MAX_PREFILL_BATCH_REQUESTS = 8
+
 
 def single_gpu_phase_latency(
     spec: GPUSpec,
@@ -180,6 +191,9 @@ class ReplicaCostModel:
         #: memoized decode-step latencies keyed by (batch_size, context_length);
         #: filled by :meth:`decode_step_grid` and shared across simulator epochs
         self._decode_step_memo: Dict[Tuple[int, int], float] = {}
+        #: memoized prefill latencies keyed by (input_length, batch_size);
+        #: filled by :meth:`prefill_latency_grid` and shared across prefill epochs
+        self._prefill_memo: Dict[Tuple[int, int], float] = {}
         self._pp_links: List[AlphaBetaModel] | None = None
         self._stages: List[_StageView] = []
         network = cluster.network
@@ -259,6 +273,115 @@ class ReplicaCostModel:
         """Prefill throughput in prompt tokens per second."""
         latency = self.prefill_latency(input_length, batch_size)
         return input_length * batch_size / latency
+
+    def prefill_latency_array(
+        self, input_lengths: Sequence[int] | np.ndarray, batch_sizes: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`prefill_latency` over parallel (input, batch) arrays.
+
+        Bitwise-identical to the scalar method: every element goes through the
+        same sequence of float64 operations.  The saturating-MFU factor is the
+        one place the scalar path calls a libm transcendental (``math.exp``),
+        whose numpy counterpart is not guaranteed ULP-identical — so that factor
+        alone is computed through the scalar helper, which costs O(n) cheap
+        python calls while all per-stage roofline math stays vectorized.  This
+        is the kernel behind the simulator's coalesced prefill epochs, where one
+        call prices every queued batch of a replica at once.
+        """
+        s = np.asarray(input_lengths, dtype=np.int64)
+        b = np.asarray(batch_sizes, dtype=np.int64)
+        if s.shape != b.shape:
+            raise ValueError("input_lengths and batch_sizes must have the same shape")
+        if s.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        if int(s.min()) < 1 or int(b.min()) < 1:
+            raise ValueError("input_length and batch_size must be >= 1")
+        model = self.model
+        params = self.params
+        # params.prefill_mfu(input_length * batch_size), element for element.
+        mfu = np.array(
+            [params.prefill_mfu(t) for t in (s * b).tolist()], dtype=np.float64
+        )
+        h = model.hidden_size
+        total = np.zeros(s.shape, dtype=np.float64)
+        for stage in self._stages:
+            layers = stage.num_layers
+            # flops = (mlp_flops(model, s, layers)
+            #          + attention_flops(model, s, s, layers)) * batch, with the
+            # scalar path's exact multiplication order (mlp_flops is linear in
+            # seq_len, so the one-token value scales exactly — see model.flops).
+            mlp = mlp_flops(model, 1, layers) * s
+            att = layers * 4.0 * s * s * h
+            flops = (mlp + att) * b
+            compute_t = flops / (
+                stage.sum_flops * params.tp_efficiency(stage.tp) * mfu
+            )
+            # mem_bytes = prefill_memory_bytes(model, s, batch, layers)
+            frac = layers / model.num_layers
+            weights = parameter_bytes(model) * frac
+            kv_written = kv_cache_bytes_per_token(model, num_layers=layers) * s * b
+            activations = 2.0 * model.hidden_size * model.dtype_bytes * s * b * layers
+            mem_t = (weights + kv_written + activations) / (
+                stage.sum_bandwidth * params.memory_efficiency
+            )
+            overhead = layers * params.per_layer_overhead_s + params.per_stage_overhead_s
+            if stage.tp <= 1:
+                tp_comm: np.ndarray | float = 0.0
+            else:
+                activation_bytes = s * b * model.hidden_size * model.dtype_bytes
+                volume = 2.0 * (stage.tp - 1) / stage.tp * activation_bytes
+                allreduce = (
+                    2.0 * (stage.tp - 1) * stage.intra_latency_s
+                    + volume / stage.intra_bandwidth_bytes
+                )
+                tp_comm = (2.0 * allreduce) * stage.num_layers
+            total = total + ((np.maximum(compute_t, mem_t) + overhead) + tp_comm)
+        if len(self._stages) > 1:
+            if self._pp_links is None:
+                self._pp_links = [
+                    self._stage_link(a, bb)
+                    for a, bb in zip(self._stages[:-1], self._stages[1:])
+                ]
+            activation_bytes = s * b * model.hidden_size * model.dtype_bytes
+            pp = 0.0
+            for link in self._pp_links:
+                pp = pp + (link.alpha_s + activation_bytes / link.beta_bytes_per_s)
+            total = total + pp
+        return total
+
+    def prefill_latency_grid(
+        self, input_lengths: np.ndarray, batch_sizes: np.ndarray
+    ) -> np.ndarray:
+        """Memoized elementwise prefill latencies.
+
+        Looks every (input_length, batch_size) pair up in the per-replica memo
+        and computes only the missing entries with :meth:`prefill_latency_array`
+        — the prefill analogue of :meth:`decode_step_grid`.  Prompt-heavy traces
+        revisit batch shapes constantly once the queue saturates the batch cap,
+        so the steady-state cost collapses to dict lookups.
+        """
+        s = np.asarray(input_lengths, dtype=np.int64)
+        b = np.asarray(batch_sizes, dtype=np.int64)
+        out = np.empty(s.shape, dtype=np.float64)
+        memo = self._prefill_memo
+        missing: List[int] = []
+        s_list = s.tolist()
+        b_list = b.tolist()
+        for i, key in enumerate(zip(s_list, b_list)):
+            cached = memo.get(key)
+            if cached is None:
+                missing.append(i)
+            else:
+                out[i] = cached
+        if missing:
+            idx = np.asarray(missing, dtype=np.intp)
+            values = self.prefill_latency_array(s[idx], b[idx])
+            out[idx] = values
+            if len(memo) + len(missing) > PREFILL_LATENCY_MEMO_MAX:
+                memo.clear()
+            for i, value in zip(missing, values.tolist()):
+                memo[(s_list[i], b_list[i])] = value
+        return out
 
     # ------------------------------------------------------------------ decode
     def decode_step_latency(self, batch_size: int, context_length: int) -> float:
@@ -429,6 +552,7 @@ class ReplicaCostModel:
 __all__ = [
     "CostModelParams",
     "DEFAULT_PARAMS",
+    "DEFAULT_MAX_PREFILL_BATCH_REQUESTS",
     "single_gpu_phase_latency",
     "ReplicaCostModel",
 ]

@@ -20,11 +20,13 @@ Quick use::
 from repro.scenarios.base import FailureEvent, Scenario, thinned_poisson_trace
 from repro.scenarios.library import (
     DEFAULT_TIERS,
+    LONG_PROMPT_RAG_WORKLOAD,
     RAG_WORKLOAD,
     AgenticCodingMixScenario,
     BurstySpikesScenario,
     DiurnalTrafficScenario,
     LongContextRAGScenario,
+    LongPromptRAGScenario,
     MultiTenantSLOTiersScenario,
     SpotPreemptionScenario,
     TenantTier,
@@ -42,11 +44,13 @@ __all__ = [
     "FailureEvent",
     "thinned_poisson_trace",
     "RAG_WORKLOAD",
+    "LONG_PROMPT_RAG_WORKLOAD",
     "DEFAULT_TIERS",
     "TenantTier",
     "DiurnalTrafficScenario",
     "BurstySpikesScenario",
     "LongContextRAGScenario",
+    "LongPromptRAGScenario",
     "AgenticCodingMixScenario",
     "MultiTenantSLOTiersScenario",
     "SpotPreemptionScenario",

@@ -1,12 +1,15 @@
 """The built-in scenario library.
 
-Six named, parameterized scenarios covering the operating conditions a
+Seven named, parameterized scenarios covering the operating conditions a
 production phase-splitting deployment actually meets:
 
 * :class:`DiurnalTrafficScenario` — a compressed day/night sinusoidal load cycle;
 * :class:`BurstySpikesScenario` — steady traffic punctuated by short spikes;
 * :class:`LongContextRAGScenario` — retrieval-augmented prompts (very long
   inputs, moderate outputs) that stress prefill and KV transfer;
+* :class:`LongPromptRAGScenario` — retrieval lookups (even heavier prompts,
+  near-vanishing decodes) that concentrate essentially all work in the prefill
+  phase — the stress test of the coalesced prefill batching path;
 * :class:`AgenticCodingMixScenario` — an agentic mix of coding and conversation
   turns, the workload-shift situation of §3.4;
 * :class:`MultiTenantSLOTiersScenario` — gold/silver/bronze tenants sharing the
@@ -137,6 +140,46 @@ class LongContextRAGScenario(Scenario):
     request_rate: float = 2.0
     duration: float = 120.0
     workload: WorkloadSpec = RAG_WORKLOAD
+
+    def build_trace(self, seed: RNGLike = None) -> Trace:
+        gen = PoissonArrivalGenerator(self.workload, self.request_rate, seed=seed)
+        trace = gen.generate(duration=self.duration)
+        return Trace(requests=trace.requests, name=self.name)
+
+    def planning_workload(self) -> WorkloadSpec:
+        return self.workload
+
+
+#: Retrieval *lookups*: the prompt carries a whole document bundle but the
+#: answer is a short extraction (a citation, a yes/no, a field value).  Decode
+#: nearly vanishes, so prefill throughput — and the engine's coalesced prefill
+#: batching — is the only thing that matters.
+LONG_PROMPT_RAG_WORKLOAD = WorkloadSpec(
+    name="long-prompt-rag",
+    median_input_length=4096.0,
+    median_output_length=24.0,
+    input_sigma=0.3,
+    output_sigma=0.45,
+    max_input_length=8192,
+)
+
+
+@dataclass(frozen=True)
+class LongPromptRAGScenario(Scenario):
+    """Retrieval lookups: very heavy prompts with terse answers.
+
+    The prefill-dominated extreme of the library — arrival bursts queue whole
+    documents on the prefill replicas while decode replicas sit almost idle.
+    Exercises multi-request prefill batches, prefill-epoch truncation by fresh
+    arrivals and the coalesced KV-transfer handoffs end to end.
+    """
+
+    name: ClassVar[str] = "long-prompt-rag"
+    description: ClassVar[str] = "heavy retrieval prompts, terse answers (prefill dominated)"
+
+    request_rate: float = 2.5
+    duration: float = 120.0
+    workload: WorkloadSpec = LONG_PROMPT_RAG_WORKLOAD
 
     def build_trace(self, seed: RNGLike = None) -> Trace:
         gen = PoissonArrivalGenerator(self.workload, self.request_rate, seed=seed)
@@ -322,11 +365,13 @@ class SpotPreemptionScenario(Scenario):
 
 __all__ = [
     "RAG_WORKLOAD",
+    "LONG_PROMPT_RAG_WORKLOAD",
     "DEFAULT_TIERS",
     "TenantTier",
     "DiurnalTrafficScenario",
     "BurstySpikesScenario",
     "LongContextRAGScenario",
+    "LongPromptRAGScenario",
     "AgenticCodingMixScenario",
     "MultiTenantSLOTiersScenario",
     "SpotPreemptionScenario",

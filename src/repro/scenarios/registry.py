@@ -10,6 +10,7 @@ from repro.scenarios.library import (
     BurstySpikesScenario,
     DiurnalTrafficScenario,
     LongContextRAGScenario,
+    LongPromptRAGScenario,
     MultiTenantSLOTiersScenario,
     SpotPreemptionScenario,
 )
@@ -38,6 +39,7 @@ for _cls in (
     DiurnalTrafficScenario,
     BurstySpikesScenario,
     LongContextRAGScenario,
+    LongPromptRAGScenario,
     AgenticCodingMixScenario,
     MultiTenantSLOTiersScenario,
     SpotPreemptionScenario,

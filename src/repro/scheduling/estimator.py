@@ -31,7 +31,12 @@ import numpy as np
 
 from repro.core.types import Phase, SLOSpec, SLOType
 from repro.costmodel.kv_transfer import kv_transfer_seconds
-from repro.costmodel.latency import CostModelParams, DEFAULT_PARAMS, ReplicaCostModel
+from repro.costmodel.latency import (
+    CostModelParams,
+    DEFAULT_MAX_PREFILL_BATCH_REQUESTS,
+    DEFAULT_PARAMS,
+    ReplicaCostModel,
+)
 from repro.hardware.cluster import Cluster
 from repro.model.architecture import ModelConfig
 from repro.model.memory import kv_cache_bytes_per_token
@@ -66,7 +71,13 @@ class ReplicaPerformance:
     cost:
         The replica's roofline cost model.
     prefill_service_s:
-        Prefill latency of the workload's mean prompt (batch size 1).
+        Effective per-request prefill service time of the workload's mean
+        prompt under the estimator's prefill batching assumption: the batched
+        latency divided by the batch size (equal to the solo latency when
+        ``prefill_batch_requests`` is 1).  This is the service time the M/D/1
+        queueing term and the capacity figures are built from — the simulator
+        coalesces queued prompts into batches, so a saturated replica serves
+        requests at the batched rate, not the solo rate.
     prefill_capacity_rps:
         Sustainable prefill requests/s at the target utilisation.
     decode_max_batch:
@@ -135,6 +146,10 @@ class SLOEstimator:
         so that queueing delays stay bounded.
     num_quantiles:
         Number of quantiles per length dimension in the evaluation grid.
+    prefill_batch_requests:
+        Prefill batching the serving engine applies (the simulator's
+        ``max_prefill_batch_requests``); the queueing and capacity terms use
+        the effective per-request service time at this batch size.
     """
 
     def __init__(
@@ -148,11 +163,14 @@ class SLOEstimator:
         params: CostModelParams = DEFAULT_PARAMS,
         target_utilization: float = 0.85,
         num_quantiles: int = 7,
+        prefill_batch_requests: int = DEFAULT_MAX_PREFILL_BATCH_REQUESTS,
     ) -> None:
         if request_rate <= 0:
             raise ValueError("request_rate must be positive")
         if not 0 < target_utilization <= 1:
             raise ValueError("target_utilization must be in (0, 1]")
+        if prefill_batch_requests < 1:
+            raise ValueError("prefill_batch_requests must be >= 1")
         self.cluster = cluster
         self.model = model
         self.workload = workload
@@ -161,6 +179,7 @@ class SLOEstimator:
         self.kv_transport_bits = kv_transport_bits
         self.params = params
         self.target_utilization = target_utilization
+        self.prefill_batch_requests = prefill_batch_requests
         self.mean_input = max(1, int(round(workload.mean_input_length)))
         self.mean_output = max(1, int(round(workload.mean_output_length)))
         self._grid = self._build_grid(num_quantiles)
@@ -253,7 +272,12 @@ class SLOEstimator:
                 decode_token_capacity=cached.decode_token_capacity,
             )
         cost = ReplicaCostModel(self.cluster, group.plan, self.model, self.params)
-        prefill_service = cost.prefill_latency(self.mean_input, batch_size=1)
+        # Effective per-request service time under the engine's prefill
+        # batching: a loaded replica drains its queue in coalesced batches, so
+        # its throughput is the batched latency amortised over the batch.  At
+        # batch 1 this is exactly the solo prefill latency.
+        batch = self.prefill_batch_requests
+        prefill_service = cost.prefill_latency(self.mean_input, batch_size=batch) / batch
         prefill_capacity = self.target_utilization / prefill_service
         context = self.mean_input + self.mean_output
         max_batch = cost.max_decode_batch(context)
@@ -322,7 +346,12 @@ class SLOEstimator:
 
     @staticmethod
     def _queue_wait(prefill: ReplicaPerformance, utilization: float) -> float:
-        """M/D/1 queueing-delay term of one prefill replica at ``utilization``."""
+        """M/D/1 queueing-delay term of one prefill replica at ``utilization``.
+
+        ``prefill_service_s`` is the *batching-effective* per-request service
+        time (batched latency / batch size), so the wait already accounts for
+        the engine coalescing queued prompts into multi-request batches.
+        """
         rho = min(max(utilization, 0.0), 0.98)
         return rho / (2.0 * (1.0 - rho)) * prefill.prefill_service_s
 

@@ -23,7 +23,11 @@ import numpy as np
 
 from repro.core.exceptions import InsufficientMemoryError
 from repro.core.types import Phase, SLOSpec, SLOType
-from repro.costmodel.latency import CostModelParams, DEFAULT_PARAMS
+from repro.costmodel.latency import (
+    CostModelParams,
+    DEFAULT_MAX_PREFILL_BATCH_REQUESTS,
+    DEFAULT_PARAMS,
+)
 from repro.hardware.cluster import Cluster
 from repro.model.architecture import ModelConfig
 from repro.parallelism.config import ReplicaPlan
@@ -90,6 +94,10 @@ class LowerLevelSolver:
         scenarios get their own entries.  The cache must only be shared among
         solvers over the same cluster and cost params — the key does not carry
         those (robust scheduling holds them constant by construction).
+    prefill_batch_requests:
+        Prefill batching assumed by the attainment estimator (defaults to the
+        serving engine's ``max_prefill_batch_requests`` default, so estimates
+        and simulation agree on the batching policy).
     """
 
     def __init__(
@@ -106,6 +114,7 @@ class LowerLevelSolver:
         fixed_plans: Optional[Dict[Tuple[int, ...], ReplicaPlan]] = None,
         seed: int = 0,
         plan_cache: Optional[Dict[object, Optional[ReplicaPlan]]] = None,
+        prefill_batch_requests: int = DEFAULT_MAX_PREFILL_BATCH_REQUESTS,
     ) -> None:
         if orchestration_mode not in ("lp", "uniform", "random"):
             raise ValueError("orchestration_mode must be 'lp', 'uniform' or 'random'")
@@ -128,6 +137,7 @@ class LowerLevelSolver:
             request_rate=request_rate,
             kv_transport_bits=kv_transport_bits,
             params=params,
+            prefill_batch_requests=prefill_batch_requests,
         )
         self._plan_cache: Dict[object, Optional[ReplicaPlan]] = (
             plan_cache if plan_cache is not None else {}

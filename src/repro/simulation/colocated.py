@@ -7,9 +7,12 @@ that phase splitting removes: while a long prompt is being prefilled, every acti
 sequence's next token is delayed by the full prefill latency.
 
 The co-located simulator models each replica as a single work loop: at every step
-boundary it either (a) admits and prefills one waiting request — if KV memory
-allows — or (b) runs one decode step for the whole active batch.  Service times
-come from the same roofline cost model used everywhere else.
+boundary it either (a) admits and prefills up to ``max_prefill_batch_requests``
+waiting requests as one batch — as many as KV memory allows — or (b) runs one
+decode step for the whole active batch.  Service times come from the same
+roofline cost model used everywhere else, and the prefill batching knob matches
+the phase-splitting simulator's ``SimulatorConfig.max_prefill_batch_requests``
+so baseline comparisons hold the batching policy constant.
 """
 
 from __future__ import annotations
@@ -23,7 +26,12 @@ import numpy as np
 from repro.core.exceptions import SimulationError
 from repro.core.rng import ensure_rng
 from repro.core.types import Request, RequestMetrics
-from repro.costmodel.latency import CostModelParams, DEFAULT_PARAMS, ReplicaCostModel
+from repro.costmodel.latency import (
+    CostModelParams,
+    DEFAULT_MAX_PREFILL_BATCH_REQUESTS,
+    DEFAULT_PARAMS,
+    ReplicaCostModel,
+)
 from repro.hardware.cluster import Cluster
 from repro.kvcache.paged import PagedKVCache
 from repro.model.architecture import ModelConfig
@@ -66,15 +74,19 @@ class ColocatedSimulator:
         seed: int = 0,
         routing_weights: Optional[Sequence[float]] = None,
         interference_penalty: float = DEFAULT_INTERFERENCE_PENALTY,
+        max_prefill_batch_requests: int = DEFAULT_MAX_PREFILL_BATCH_REQUESTS,
     ) -> None:
         if not replica_plans:
             raise SimulationError("at least one replica plan is required")
         if interference_penalty < 0:
             raise SimulationError("interference_penalty must be >= 0")
+        if max_prefill_batch_requests < 1:
+            raise SimulationError("max_prefill_batch_requests must be >= 1")
         self.cluster = cluster
         self.model = model
         self.params = params
         self.interference_penalty = interference_penalty
+        self.max_prefill_batch_requests = max_prefill_batch_requests
         self._rng = ensure_rng(seed)
         self.replicas: List[_ColocatedReplica] = []
         for idx, plan in enumerate(replica_plans):
@@ -156,20 +168,38 @@ class ColocatedSimulator:
     def _schedule_work(self, replica: _ColocatedReplica, now: float) -> None:
         """Pick the next unit of work (prefill beats decode, as in vLLM's scheduler)."""
         factor = self._interference_factor(replica)
-        # Try to admit a waiting request first.
+        # Try to admit waiting requests first — up to max_prefill_batch_requests
+        # of them as one batched prefill, as many as KV memory and the
+        # continuous-batching slot limit allow (FIFO, stop at the first misfit).
         if replica.waiting and len(replica.active) < replica.max_batch:
-            request = replica.waiting[0]
-            if replica.kv.can_allocate(request.total_tokens):
+            batch: List[Request] = []
+            planned_blocks = 0
+            while (
+                replica.waiting
+                and len(batch) < self.max_prefill_batch_requests
+                and len(replica.active) + len(batch) < replica.max_batch
+            ):
+                request = replica.waiting[0]
+                needed = replica.kv.blocks_needed(request.total_tokens)
+                if planned_blocks + needed > replica.kv.free_blocks:
+                    break
                 replica.waiting.popleft()
+                planned_blocks += needed
+                batch.append(request)
+            if batch:
                 replica.busy = True
-                latency = replica.cost.prefill_latency(request.input_length, batch_size=1) * factor
-                self._metrics[request.request_id].prefill_start = now
+                max_input = max(r.input_length for r in batch)
+                latency = (
+                    replica.cost.prefill_latency(max_input, batch_size=len(batch)) * factor
+                )
+                for request in batch:
+                    self._metrics[request.request_id].prefill_start = now
                 self._events.push(
                     Event(
                         time=now + latency,
                         kind=EventKind.REPLICA_STEP,
                         replica_id=replica.replica_id,
-                        payload=("prefill", request),
+                        payload=("prefill", batch),
                     )
                 )
                 return
@@ -189,20 +219,24 @@ class ColocatedSimulator:
             return
         replica.busy = False
 
-    def _on_step_done(self, replica_id: int, payload: Tuple[str, Optional[Request]], now: float) -> None:
+    def _on_step_done(self, replica_id: int, payload: Tuple[str, Optional[List[Request]]], now: float) -> None:
         replica = self.replicas[replica_id]
-        kind, request = payload
+        kind, batch = payload
         if kind == "prefill":
-            assert request is not None
-            metrics = self._metrics[request.request_id]
-            metrics.first_token_time = now
-            metrics.kv_transfer_done = now  # co-located: no transfer
-            if request.output_length <= 1:
-                metrics.completion_time = now
-                metrics.finished = True
-            else:
-                replica.kv.allocate(request.request_id, request.total_tokens)
-                replica.active[request.request_id] = [request.input_length + 1, request.output_length - 1]
+            assert batch is not None
+            for request in batch:
+                metrics = self._metrics[request.request_id]
+                metrics.first_token_time = now
+                metrics.kv_transfer_done = now  # co-located: no transfer
+                if request.output_length <= 1:
+                    metrics.completion_time = now
+                    metrics.finished = True
+                else:
+                    replica.kv.allocate(request.request_id, request.total_tokens)
+                    replica.active[request.request_id] = [
+                        request.input_length + 1,
+                        request.output_length - 1,
+                    ]
         else:
             finished_ids: List[int] = []
             for request_id, state in replica.active.items():

@@ -15,21 +15,39 @@ The simulator replays a request trace against a :class:`DeploymentPlan`:
 The per-request :class:`RequestMetrics` collected here are what the end-to-end
 experiments (Figures 7–9, 11, 12, Tables 5 and 8) aggregate.
 
-Two decode engines implement the same semantics:
+Two engines implement the same semantics:
 
-* ``engine="fast"`` (the default) keeps per-replica struct-of-arrays state
-  (context lengths and remaining tokens as numpy arrays) and **coalesces decode
-  steps into epochs**: while a replica's batch membership cannot change (no
-  completion due, nothing newly admitted), the per-step latencies of the whole
-  jump are priced in one vectorized call against the memoized
-  :meth:`~repro.costmodel.latency.ReplicaCostModel.decode_step_grid` and a single
-  wake event replaces thousands of per-token heap events.  A KV arrival mid-epoch
-  truncates the epoch at the first step boundary after the arrival, exactly where
-  the per-event engine would admit the request.
-* ``engine="reference"`` retains the original one-heap-event-per-decode-step
-  implementation.  It is the ground truth the equivalence suite
-  (``tests/test_engine_equivalence.py``) and ``benchmarks/bench_simulator_core``
-  compare against: both engines produce bitwise-identical per-request metrics.
+* ``engine="fast"`` (the default) vectorizes **both phases**.
+
+  On the decode side it keeps per-replica struct-of-arrays state (context
+  lengths and remaining tokens as numpy arrays) and **coalesces decode steps
+  into epochs**: while a replica's batch membership cannot change (no completion
+  due, nothing newly admitted), the per-step latencies of the whole jump are
+  priced in one vectorized call against the memoized
+  :meth:`~repro.costmodel.latency.ReplicaCostModel.decode_step_grid` and a
+  single wake event replaces thousands of per-token heap events.  A KV arrival
+  mid-epoch truncates the epoch at the first step boundary after the arrival,
+  exactly where the per-event engine would admit the request.
+
+  On the prefill side it **coalesces queued batches into epochs**: when a
+  replica picks up work, the whole queue is chunked into multi-request batches
+  (greedy FIFO, up to ``max_prefill_batch_requests`` per batch), every batch is
+  priced in one call against the memoized
+  :meth:`~repro.costmodel.latency.ReplicaCostModel.prefill_latency_grid`, and
+  the per-batch completion times plus every KV-transfer handoff are computed in
+  a single numpy pass up front.  A new arrival on the replica truncates the
+  epoch at the first batch that has not yet started (re-queueing its requests),
+  exactly where the per-event engine would re-form batches.  The resulting KV
+  transfers are emitted as **coalesced arrival batches** (one ``KV_BATCH``
+  cursor per (prefill batch, decode replica) instead of one heap event per
+  request) that feed the decode epochs in exact per-request arrival order.
+
+* ``engine="reference"`` retains the original per-event implementation: one
+  ``PREFILL_DONE`` heap event per prefill batch, one ``KV_ARRIVED`` event per
+  request and one heap event per decode step.  It is the ground truth the
+  equivalence suite (``tests/test_engine_equivalence.py``) and the
+  ``bench_simulator_core`` / ``bench_prefill_core`` benchmarks compare against:
+  both engines produce bitwise-identical per-request metrics.
 """
 
 from __future__ import annotations
@@ -44,7 +62,13 @@ from repro.core.exceptions import SimulationError
 from repro.core.rng import RNGLike, ensure_rng
 from repro.core.types import Phase, Request, RequestMetrics
 from repro.costmodel.kv_transfer import kv_transfer_seconds
-from repro.costmodel.latency import CostModelParams, DEFAULT_PARAMS, ReplicaCostModel
+from repro.costmodel.latency import (
+    CostModelParams,
+    DEFAULT_MAX_PREFILL_BATCH_REQUESTS,
+    DEFAULT_PARAMS,
+    ReplicaCostModel,
+)
+from repro.model.memory import kv_cache_bytes_per_token
 from repro.hardware.cluster import Cluster
 from repro.kvcache.paged import PagedKVCache
 from repro.model.architecture import ModelConfig
@@ -62,7 +86,7 @@ class SimulatorConfig:
     """Knobs of the discrete-event simulator."""
 
     #: maximum number of requests batched into a single prefill execution
-    max_prefill_batch_requests: int = 1
+    max_prefill_batch_requests: int = DEFAULT_MAX_PREFILL_BATCH_REQUESTS
     #: KV block size (tokens) of the paged cache used for decode admission
     kv_block_size: int = 16
     #: hard cap on simulated time (seconds); ``None`` lets the system fully drain
@@ -85,12 +109,53 @@ class SimulatorConfig:
 
 @dataclass
 class _PrefillReplica:
-    """Run-time state of one prefill replica."""
+    """Run-time state of one prefill replica.
+
+    The reference engine only uses ``queue`` / ``busy`` (batches are re-formed
+    at every ``PREFILL_DONE``); the fast engine additionally carries the state
+    of the current coalesced prefill epoch: the planned batches, their
+    precomputed start/completion times, the precomputed KV-transfer handoffs of
+    every batch, and the truncation bookkeeping.
+    """
 
     group_id: int
     cost: ReplicaCostModel
     queue: Deque[Request] = field(default_factory=deque)
     busy: bool = False
+    # ---- fast engine coalesced-epoch state ----
+    #: batches of the current epoch, in execution order
+    epoch_batches: List[List[Request]] = field(default_factory=list)
+    #: absolute start time of every planned batch
+    epoch_starts: Optional[np.ndarray] = None
+    #: absolute completion time of every planned batch
+    epoch_dones: Optional[np.ndarray] = None
+    #: per batch: coalesced KV handoffs as (decode group, requests sorted by
+    #: arrival, arrival times) — precomputed in one numpy pass at plan time
+    epoch_kv: List[List[Tuple[int, List[Request], np.ndarray]]] = field(default_factory=list)
+    #: number of leading batches still valid (arrival truncation shortens this)
+    epoch_cut: int = 0
+    #: epoch generation counter; batch events carrying an older value are stale
+    epoch_seq: int = 0
+
+
+@dataclass
+class _KVBatch:
+    """Cursor over a coalesced array of KV arrivals for one decode replica.
+
+    Replaces one ``KV_ARRIVED`` heap event per request with a single ``KV_BATCH``
+    event whose handler drains arrivals in order, yielding back to the heap
+    (via :meth:`EventQueue.repush` under its original sequence number, so
+    exact-time ties keep their per-event ordering) whenever another event is
+    due first.
+    """
+
+    decode_id: int
+    requests: List[Request]
+    times: np.ndarray
+    #: index of the next undelivered arrival
+    pos: int = 0
+    #: heap sequence number assigned at the first push; reused on every repush
+    heap_seq: int = -1
 
 
 def _empty_ids() -> np.ndarray:
@@ -200,6 +265,15 @@ class ServingSimulator:
         self._prefill_start: Dict[int, float] = {}
         self._decode_target: Dict[int, int] = {}
         self._clock = 0.0
+        self._fast = config.engine == "fast"
+        #: KV-transport bytes per prompt token at the plan's precision — the
+        #: constant factor of every transfer the fast engine prices vectorized
+        self._kv_bytes_per_token = kv_cache_bytes_per_token(
+            model, bits=plan.kv_transport_bits
+        )
+        #: (prefill group, decode group) -> (alpha, beta) of the best link, or
+        #: ``None`` for co-located pairs (zero-cost transfer); lazily filled
+        self._kv_links: Dict[Tuple[int, int], Optional[Tuple[float, float]]] = {}
 
     # ------------------------------------------------------------------ dispatch
     def _choose_pair(self) -> Tuple[int, int]:
@@ -233,6 +307,12 @@ class ServingSimulator:
         for replica in self.prefills.values():
             replica.queue.clear()
             replica.busy = False
+            replica.epoch_batches = []
+            replica.epoch_starts = None
+            replica.epoch_dones = None
+            replica.epoch_kv = []
+            replica.epoch_cut = 0
+            replica.epoch_seq = 0
         for replica in self.decodes.values():
             replica.active.clear()
             replica.pending.clear()
@@ -267,6 +347,10 @@ class ServingSimulator:
             self._clock = max(self._clock, event.time)
             if event.kind is EventKind.ARRIVAL:
                 self._on_arrival(event.payload, event.time)
+            elif event.kind is EventKind.PREFILL_BATCH:
+                self._on_prefill_batch(event.replica_id, event.payload, event.time)
+            elif event.kind is EventKind.KV_BATCH:
+                self._on_kv_batch(event.payload, horizon)
             elif event.kind is EventKind.PREFILL_DONE:
                 self._on_prefill_done(event.replica_id, event.payload, event.time)
             elif event.kind is EventKind.KV_ARRIVED:
@@ -298,6 +382,9 @@ class ServingSimulator:
         self._metrics[request.request_id] = metrics
         self._decode_target[request.request_id] = decode_id
         replica = self.prefills[prefill_id]
+        if self._fast:
+            self._on_prefill_arrival_fast(replica, request, now)
+            return
         replica.queue.append(request)
         if not replica.busy:
             self._start_prefill_batch(replica, now)
@@ -357,6 +444,228 @@ class ServingSimulator:
             )
         # Keep the prefill replica busy with the next batch, if any.
         self._start_prefill_batch(replica, now)
+
+    # ----------------------------------------------------- prefill (fast engine)
+    def _on_prefill_arrival_fast(self, replica: _PrefillReplica, request: Request, now: float) -> None:
+        """Queue an arrival, truncating the replica's in-flight prefill epoch.
+
+        The per-event engine re-forms batches from the live queue at every batch
+        boundary, but FIFO order makes almost every planned batch immune to a
+        later arrival: the arrival joins the *back* of the queue, so a planned
+        batch that is already full keeps exactly its composition.  Only the
+        trailing **underfull** batch (greedy chunking leaves at most one) could
+        absorb the newcomer when it is eventually formed — so if that batch has
+        not started yet, it alone is cancelled and re-queued ahead of the
+        arrival; the replan at the last surviving batch boundary re-forms it
+        exactly like the per-event engine would.  Batches already running
+        complete as planned.
+        """
+        replica.queue.append(request)
+        if not replica.busy:
+            self._plan_prefill_epoch(replica, now)
+            return
+        assert replica.epoch_starts is not None
+        last = replica.epoch_cut - 1
+        if len(replica.epoch_batches[last]) >= self.config.max_prefill_batch_requests:
+            return  # every pending batch is full; composition cannot change
+        # The trailing batch is underfull: cancel it unless it already started.
+        # Arrivals pop before equal-time batch boundaries (their heap entries
+        # are pushed first, at run setup), so a batch starting exactly at
+        # ``now`` is formed *after* this request joined the queue in the
+        # per-event engine — start >= now means "not started".  The leading
+        # batch always survives: the epoch was planned strictly before ``now``
+        # (an arrival at the plan instant would have been processed first).
+        if last >= 1 and float(replica.epoch_starts[last]) >= now:
+            replica.queue.extendleft(reversed(replica.epoch_batches[last]))
+            replica.epoch_cut = last
+
+    def _plan_prefill_epoch(self, replica: _PrefillReplica, now: float) -> None:
+        """Start a coalesced prefill epoch at ``now``.
+
+        Drains the replica's queue into greedy FIFO batches (up to
+        ``max_prefill_batch_requests`` requests each), prices every batch with
+        one call into the memoized vectorized
+        :meth:`~repro.costmodel.latency.ReplicaCostModel.prefill_latency_grid`,
+        and precomputes every batch's start/completion time plus all KV-transfer
+        handoffs in a single numpy pass.  One cheap ``PREFILL_BATCH`` event per
+        batch replays the precomputed timeline; an arrival mid-epoch truncates
+        the not-yet-started tail (see :meth:`_on_prefill_arrival_fast`).
+        """
+        if not replica.queue:
+            replica.busy = False
+            replica.epoch_batches = []
+            replica.epoch_cut = 0
+            return
+        replica.busy = True
+        cap = self.config.max_prefill_batch_requests
+        queued = list(replica.queue)
+        replica.queue.clear()
+        batches = [queued[i : i + cap] for i in range(0, len(queued), cap)]
+        n = len(batches)
+        max_inputs = np.fromiter(
+            (max(r.input_length for r in batch) for batch in batches),
+            dtype=np.int64,
+            count=n,
+        )
+        sizes = np.fromiter((len(batch) for batch in batches), dtype=np.int64, count=n)
+        latencies = replica.cost.prefill_latency_grid(max_inputs, sizes)
+        # Sequential accumulation, bitwise-identical to the reference engine's
+        # per-batch now + latency chain (np.cumsum accumulates left to right).
+        buffer = np.empty(n + 1, dtype=np.float64)
+        buffer[0] = now
+        buffer[1:] = latencies
+        times = np.cumsum(buffer)
+        replica.epoch_batches = batches
+        replica.epoch_starts = times[:-1]
+        replica.epoch_dones = times[1:]
+        replica.epoch_cut = n
+        replica.epoch_seq += 1
+        replica.epoch_kv = self._plan_epoch_kv(replica, batches, replica.epoch_dones)
+        for k, done in enumerate(replica.epoch_dones.tolist()):
+            self._events.push(
+                Event(
+                    time=done,
+                    kind=EventKind.PREFILL_BATCH,
+                    replica_id=replica.group_id,
+                    payload=(replica.epoch_seq, k),
+                )
+            )
+
+    def _kv_link(self, prefill_id: int, decode_id: int) -> Optional[Tuple[float, float]]:
+        """(alpha, beta) of the best link between two groups; ``None`` if co-located."""
+        key = (prefill_id, decode_id)
+        if key in self._kv_links:
+            return self._kv_links[key]
+        src = self.plan.group(prefill_id).gpu_ids
+        dst = self.plan.group(decode_id).gpu_ids
+        if set(src) & set(dst):
+            link = None
+        else:
+            network = self.cluster.network
+            i, j, _bw = network.best_link_between(list(src), list(dst))
+            link = (network.latency_s(i, j), network.bandwidth_bytes(i, j))
+        self._kv_links[key] = link
+        return link
+
+    def _plan_epoch_kv(
+        self,
+        replica: _PrefillReplica,
+        batches: List[List[Request]],
+        dones: np.ndarray,
+    ) -> List[List[Tuple[int, List[Request], np.ndarray]]]:
+        """Precompute every batch's KV-transfer handoffs, coalesced per target.
+
+        For each (batch, decode replica) pair the per-request arrival times are
+        ``batch_done + alpha + bytes/beta`` computed in one vectorized shot
+        against the cached link parameters — bitwise-identical to the reference
+        engine's per-request :func:`kv_transfer_seconds` calls.  Requests are
+        stably sorted by arrival time so a single :class:`_KVBatch` cursor can
+        drain them in exact heap order.
+        """
+        plan: List[List[Tuple[int, List[Request], np.ndarray]]] = []
+        for k, batch in enumerate(batches):
+            groups: Dict[int, List[Request]] = {}
+            for request in batch:
+                if request.output_length <= 1:
+                    continue  # finishes at prefill; no KV transfer
+                groups.setdefault(self._decode_target[request.request_id], []).append(request)
+            done = float(dones[k])
+            per_batch: List[Tuple[int, List[Request], np.ndarray]] = []
+            for decode_id, requests in groups.items():
+                link = self._kv_link(replica.group_id, decode_id)
+                if link is None:
+                    times = np.full(len(requests), done, dtype=np.float64)
+                else:
+                    alpha, beta = link
+                    tokens = np.fromiter(
+                        (r.input_length + 1 for r in requests),
+                        dtype=np.int64,
+                        count=len(requests),
+                    )
+                    times = done + (alpha + (self._kv_bytes_per_token * tokens) / beta)
+                order = np.argsort(times, kind="stable")
+                per_batch.append(
+                    (decode_id, [requests[i] for i in order.tolist()], times[order])
+                )
+            plan.append(per_batch)
+        return plan
+
+    def _on_prefill_batch(self, replica_id: int, payload: Tuple[int, int], now: float) -> None:
+        """Apply one precomputed prefill-batch completion (fast engine)."""
+        replica = self.prefills[replica_id]
+        seq, idx = payload
+        if seq != replica.epoch_seq or idx >= replica.epoch_cut:
+            return  # batch cancelled by an arrival truncation / superseded epoch
+        assert replica.epoch_starts is not None
+        batch = replica.epoch_batches[idx]
+        start = float(replica.epoch_starts[idx])
+        for request in batch:
+            metrics = self._metrics[request.request_id]
+            metrics.prefill_start = start
+            metrics.first_token_time = now
+            if request.output_length <= 1:
+                # Single-token responses finish at prefill; no KV transfer needed.
+                metrics.kv_transfer_done = now
+                metrics.completion_time = now
+                metrics.finished = True
+        for decode_id, requests, times in replica.epoch_kv[idx]:
+            holder = _KVBatch(decode_id=decode_id, requests=requests, times=times)
+            holder.heap_seq = self._events.push(
+                Event(
+                    time=float(times[0]),
+                    kind=EventKind.KV_BATCH,
+                    replica_id=decode_id,
+                    payload=holder,
+                )
+            )
+        if idx == replica.epoch_cut - 1:
+            # Last valid batch: pick up whatever queued (or was re-queued by a
+            # truncation) while the epoch ran.
+            self._plan_prefill_epoch(replica, now)
+
+    def _on_kv_batch(self, holder: _KVBatch, horizon: Optional[float]) -> None:
+        """Drain a coalesced KV-arrival cursor in exact per-event order.
+
+        Arrivals are delivered while they remain the earliest pending work;
+        whenever another heap entry is due first — compared on the full
+        (time, sequence) key, so exact-time ties resolve as they would for
+        per-request events — the cursor is re-inserted at the next arrival
+        under its original sequence number.
+        """
+        times = holder.times
+        requests = holder.requests
+        n = len(requests)
+        events = self._events
+        while holder.pos < n:
+            t = float(times[holder.pos])
+            if horizon is not None and t > horizon:
+                # Beyond the horizon: hand the remainder back so the main loop
+                # observes (and truncates at) it like the per-event engine.
+                events.repush(
+                    Event(
+                        time=t,
+                        kind=EventKind.KV_BATCH,
+                        replica_id=holder.decode_id,
+                        payload=holder,
+                    ),
+                    holder.heap_seq,
+                )
+                return
+            top = events.peek_key()
+            if top is not None and top < (t, holder.heap_seq):
+                events.repush(
+                    Event(
+                        time=t,
+                        kind=EventKind.KV_BATCH,
+                        replica_id=holder.decode_id,
+                        payload=holder,
+                    ),
+                    holder.heap_seq,
+                )
+                return
+            holder.pos += 1
+            self._clock = max(self._clock, t)
+            self._on_kv_arrived_fast(holder.decode_id, requests[holder.pos - 1], t)
 
     # ------------------------------------------------------ decode (fast engine)
     def _admit_pending_fast(self, replica: _DecodeReplica) -> None:

@@ -21,6 +21,13 @@ class EventKind(str, enum.Enum):
     #: end of a coalesced multi-step decode epoch (fast engine); the payload is
     #: the epoch sequence number so truncated epochs can invalidate stale wakes
     DECODE_WAKE = "decode_wake"
+    #: completion of one batch inside a coalesced prefill epoch (fast engine);
+    #: the payload is (epoch sequence number, batch index) so arrival-truncated
+    #: epochs can invalidate the events of their cancelled batches
+    PREFILL_BATCH = "prefill_batch"
+    #: a coalesced array of KV-cache arrivals for one decode replica (fast
+    #: engine); the payload is a mutable batch cursor drained in arrival order
+    KV_BATCH = "kv_batch"
     REPLICA_STEP = "replica_step"  # co-located replicas (vLLM/HexGen baselines)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -52,11 +59,26 @@ class EventQueue:
         self._heap: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
 
-    def push(self, event: Event) -> None:
-        """Insert an event."""
+    def push(self, event: Event) -> int:
+        """Insert an event; returns the assigned tie-breaking sequence number."""
         if event.time < 0:
             raise SimulationError(f"event time must be >= 0, got {event.time}")
-        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+        seq = next(self._counter)
+        heapq.heappush(self._heap, (event.time, seq, event))
+        return seq
+
+    def repush(self, event: Event, seq: int) -> None:
+        """Re-insert an event under a previously assigned sequence number.
+
+        Coalesced batch events (``KV_BATCH``) drain several logical arrivals;
+        when a later arrival must yield to another heap entry, the batch is
+        re-inserted at that arrival's time *keeping its original sequence
+        number*, so exact-time ties keep resolving exactly as they would for
+        the per-arrival events the batch replaces.
+        """
+        if event.time < 0:
+            raise SimulationError(f"event time must be >= 0, got {event.time}")
+        heapq.heappush(self._heap, (event.time, seq, event))
 
     def pop(self) -> Event:
         """Remove and return the earliest event."""
@@ -67,6 +89,10 @@ class EventQueue:
     def peek_time(self) -> Optional[float]:
         """Time of the earliest event, or ``None`` when empty."""
         return self._heap[0][0] if self._heap else None
+
+    def peek_key(self) -> Optional[tuple[float, int]]:
+        """(time, sequence number) of the earliest event, or ``None`` when empty."""
+        return self._heap[0][:2] if self._heap else None
 
     def __len__(self) -> int:
         return len(self._heap)

@@ -123,14 +123,39 @@ class TestMain:
             == 0
         )
 
-    def test_gates_against_the_committed_baseline(self, tmp_path):
-        """The committed reduced-mode baseline is readable and self-consistent."""
-        committed = Path(__file__).resolve().parent.parent / (
-            "benchmarks/baselines/BENCH_simcore_reduced.json"
-        )
+    @pytest.mark.parametrize(
+        "name", ["BENCH_simcore_reduced.json", "BENCH_prefill_reduced.json"]
+    )
+    def test_gates_against_the_committed_baseline(self, name):
+        """Every committed reduced-mode baseline is readable and self-consistent."""
+        committed = Path(__file__).resolve().parent.parent / "benchmarks/baselines" / name
         baseline = check_regression.load_report(str(committed))
         assert baseline is not None
         assert baseline["mode"] == "reduced"
         # A fresh run identical to the baseline must pass its own gate.
         failures, _ = check_regression.compare(baseline, baseline)
         assert failures == []
+
+    def test_multiple_pairs_all_gated(self, tmp_path, capsys):
+        """--pair checks every (baseline, fresh) pair; any failure fails the run."""
+        sim_base = write(tmp_path / "sim_base.json", report())
+        sim_fresh = write(tmp_path / "sim_fresh.json", report(speedup=3.8))
+        pre_base = write(
+            tmp_path / "pre_base.json",
+            report(benchmark="bench_prefill_core", speedup=4.5),
+        )
+        pre_fresh = write(
+            tmp_path / "pre_fresh.json",
+            report(benchmark="bench_prefill_core", speedup=4.2),
+        )
+        argv = ["--pair", sim_base, sim_fresh, "--pair", pre_base, pre_fresh]
+        assert check_regression.main(argv) == 0
+        out = capsys.readouterr().out
+        assert "[bench_simulator_core]" in out and "[bench_prefill_core]" in out
+        # One regressed pair fails the whole gate, and names the culprit.
+        pre_bad = write(
+            tmp_path / "pre_bad.json",
+            report(benchmark="bench_prefill_core", speedup=1.0),
+        )
+        assert check_regression.main(["--pair", sim_base, sim_fresh, "--pair", pre_base, pre_bad]) == 1
+        assert "FAIL: [bench_prefill_core]" in capsys.readouterr().out

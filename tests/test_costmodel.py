@@ -186,6 +186,44 @@ class TestReplicaCostModel:
             a40_pair_cost.decode_step_latency_array([1, 2, 3], [1, 2])
         assert a40_pair_cost.decode_step_latency_array([], []).size == 0
 
+    @pytest.mark.parametrize("pipelined", [False, True])
+    def test_prefill_latency_array_matches_scalar_bitwise(
+        self, small_hetero_cluster_module, model_30b_module, pipelined
+    ):
+        """The vectorized prefill kernel is the scalar model, element for
+        element — raw float equality, since the fast simulator engine's coalesced
+        prefill epochs (and their bitwise-identical metrics) rest on it."""
+        import numpy as np
+
+        cluster, model = small_hetero_cluster_module, model_30b_module
+        a40 = [g.gpu_id for g in cluster.gpus_of_type("A40")]
+        if pipelined:
+            half = model.num_layers // 2
+            plan = ReplicaPlan.from_stage_lists([a40[:2], a40[2:]], [half, model.num_layers - half])
+        else:
+            plan = ReplicaPlan.from_stage_lists([a40], [model.num_layers])
+        cost = ReplicaCostModel(cluster, plan, model)
+        rng = np.random.default_rng(7)
+        inputs = rng.integers(1, 8192, size=300)
+        batches = rng.integers(1, 33, size=300)
+        vectorized = cost.prefill_latency_array(inputs, batches)
+        scalar = np.array(
+            [cost.prefill_latency(int(s), int(b)) for s, b in zip(inputs, batches)]
+        )
+        assert np.all(vectorized == scalar)
+        # The memo grid returns the same values, cold and warm.
+        assert np.all(cost.prefill_latency_grid(inputs, batches) == scalar)
+        assert np.all(cost.prefill_latency_grid(inputs, batches) == scalar)
+
+    def test_prefill_latency_array_validates(self, a40_pair_cost):
+        with pytest.raises(ValueError):
+            a40_pair_cost.prefill_latency_array([1, 2], [0, 5])
+        with pytest.raises(ValueError):
+            a40_pair_cost.prefill_latency_array([0, 2], [1, 5])
+        with pytest.raises(ValueError):
+            a40_pair_cost.prefill_latency_array([1, 2, 3], [1, 2])
+        assert a40_pair_cost.prefill_latency_array([], []).size == 0
+
 
 class TestKVTransfer:
     def test_bytes_scale_with_tokens_and_bits(self, model_30b):

@@ -1,12 +1,14 @@
-"""Seeded equivalence of the vectorized decode core and the reference engine.
+"""Seeded equivalence of the vectorized engine and the per-event reference.
 
-The fast engine (struct-of-arrays state, coalesced decode epochs, memoized
-latency grid) must be *indistinguishable* from the retained per-event reference
+The fast engine (struct-of-arrays decode state, coalesced decode epochs,
+coalesced prefill epochs with vectorized KV handoffs, memoized latency grids)
+must be *indistinguishable* from the retained per-event reference
 implementation: identical per-request metrics — bitwise, not approximately —
 identical completion order and identical makespan, across random traces,
-windowed (failure-style) serving, single-token outputs and horizon-truncated
-runs.  Any divergence here means the coalescing math drifted from the per-step
-semantics, so the assertions are exact equality on raw floats.
+windowed (failure-style) serving, single-token outputs, horizon-truncated runs,
+prompt-heavy traces and every supported prefill batch size (1, 4, 16).  Any
+divergence here means the coalescing math drifted from the per-event semantics,
+so the assertions are exact equality on raw floats.
 """
 
 import numpy as np
@@ -62,8 +64,13 @@ METRIC_FIELDS = (
 )
 
 
-def _run(trace, engine, seed=0, horizon=None):
-    config = SimulatorConfig(seed=seed, engine=engine, max_sim_time=horizon)
+#: prefill batch sizes the suite must hold at (single-request, moderate, burst)
+PREFILL_BATCH_SIZES = (1, 4, 16)
+
+
+def _run(trace, engine, seed=0, horizon=None, prefill_batch=None):
+    kwargs = {} if prefill_batch is None else {"max_prefill_batch_requests": prefill_batch}
+    config = SimulatorConfig(seed=seed, engine=engine, max_sim_time=horizon, **kwargs)
     return ServingSimulator(CLUSTER, PLAN, MODEL, config=config).run(trace)
 
 
@@ -94,9 +101,12 @@ def _assert_identical(fast, reference, check_makespan=True):
     rate=st.floats(0.5, 8.0),
     seed=st.integers(0, 10_000),
     num_requests=st.integers(5, 40),
+    prefill_batch=st.sampled_from(PREFILL_BATCH_SIZES),
 )
 @settings(max_examples=12, deadline=None)
-def test_engines_identical_on_random_traces(median_in, median_out, rate, seed, num_requests):
+def test_engines_identical_on_random_traces(
+    median_in, median_out, rate, seed, num_requests, prefill_batch
+):
     """Both engines produce bitwise-identical metrics on random workloads."""
     workload = WorkloadSpec(
         name="prop",
@@ -106,11 +116,15 @@ def test_engines_identical_on_random_traces(median_in, median_out, rate, seed, n
         output_sigma=0.5,
     )
     trace = generate_requests(workload, rate, num_requests=num_requests, seed=seed)
-    _assert_identical(_run(trace, "fast", seed=seed), _run(trace, "reference", seed=seed))
+    _assert_identical(
+        _run(trace, "fast", seed=seed, prefill_batch=prefill_batch),
+        _run(trace, "reference", seed=seed, prefill_batch=prefill_batch),
+    )
 
 
+@pytest.mark.parametrize("prefill_batch", PREFILL_BATCH_SIZES)
 @pytest.mark.parametrize("seed", [0, 7])
-def test_engines_identical_with_single_token_outputs(seed):
+def test_engines_identical_with_single_token_outputs(seed, prefill_batch):
     """Single-token requests finish at prefill; mixing them in must not diverge."""
     rng = np.random.default_rng(seed)
     requests = []
@@ -124,15 +138,66 @@ def test_engines_identical_with_single_token_outputs(seed):
             )
         )
     trace = Trace(requests=requests, name="single-token-mix")
-    _assert_identical(_run(trace, "fast", seed=seed), _run(trace, "reference", seed=seed))
+    _assert_identical(
+        _run(trace, "fast", seed=seed, prefill_batch=prefill_batch),
+        _run(trace, "reference", seed=seed, prefill_batch=prefill_batch),
+    )
 
 
+@pytest.mark.parametrize("prefill_batch", PREFILL_BATCH_SIZES)
 @pytest.mark.parametrize("horizon", [0.5, 2.0, 8.0])
-def test_engines_identical_under_horizon(horizon):
+def test_engines_identical_under_horizon(horizon, prefill_batch):
     """Horizon-truncated runs record the same completions up to the cut."""
     trace = generate_requests(CONVERSATION_WORKLOAD, 6.0, num_requests=50, seed=11)
-    fast = _run(trace, "fast", seed=1, horizon=horizon)
-    reference = _run(trace, "reference", seed=1, horizon=horizon)
+    fast = _run(trace, "fast", seed=1, horizon=horizon, prefill_batch=prefill_batch)
+    reference = _run(trace, "reference", seed=1, horizon=horizon, prefill_batch=prefill_batch)
+    _assert_identical(fast, reference)
+
+
+#: prompt-heavy shape (RAG-like): inputs dominate, decodes are short
+PROMPT_HEAVY_WORKLOAD = WorkloadSpec(
+    name="prompt-heavy",
+    median_input_length=2048.0,
+    median_output_length=32.0,
+    input_sigma=0.35,
+    output_sigma=0.6,
+)
+
+
+@pytest.mark.parametrize("prefill_batch", PREFILL_BATCH_SIZES)
+@pytest.mark.parametrize("seed", [0, 3, 9])
+def test_engines_identical_on_prompt_heavy_traces(seed, prefill_batch):
+    """Multi-request prefill batches produce bitwise-identical metrics.
+
+    The prompt-heavy shape keeps the prefill replicas queued, so the fast
+    engine's coalesced prefill epochs span several batches and the KV handoffs
+    arrive as coalesced ``KV_BATCH`` cursors — all of which must be
+    indistinguishable from the per-event engine.
+    """
+    trace = generate_requests(PROMPT_HEAVY_WORKLOAD, 8.0, num_requests=60, seed=seed)
+    _assert_identical(
+        _run(trace, "fast", seed=seed, prefill_batch=prefill_batch),
+        _run(trace, "reference", seed=seed, prefill_batch=prefill_batch),
+    )
+
+
+@pytest.mark.parametrize("prefill_batch", (4, 16))
+@pytest.mark.parametrize("rate", [12.0, 30.0])
+def test_arrival_truncated_prefill_epochs_identical(prefill_batch, rate):
+    """Arrivals landing mid-epoch truncate the planned tail without divergence.
+
+    High arrival rates land many requests while prefill epochs are in flight,
+    exercising the truncation rule (only a not-yet-started trailing underfull
+    batch may be re-formed) plus the replan at the surviving batch boundary;
+    horizon cuts layered on top must also agree.
+    """
+    trace = generate_requests(PROMPT_HEAVY_WORKLOAD, rate, num_requests=70, seed=21)
+    _assert_identical(
+        _run(trace, "fast", seed=2, prefill_batch=prefill_batch),
+        _run(trace, "reference", seed=2, prefill_batch=prefill_batch),
+    )
+    fast = _run(trace, "fast", seed=2, prefill_batch=prefill_batch, horizon=4.0)
+    reference = _run(trace, "reference", seed=2, prefill_batch=prefill_batch, horizon=4.0)
     _assert_identical(fast, reference)
 
 

@@ -113,3 +113,35 @@ def test_attainment_monotone_in_slo_scale(seed):
     curve = [result.slo_attainment(reference.slo_spec(s), SLOType.E2E) for s in scales]
     assert all(b >= a for a, b in zip(curve, curve[1:]))
     assert all(0.0 <= v <= 1.0 for v in curve)
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    size=st.integers(1, 64),
+    max_input=st.integers(1, 8192),
+    max_batch=st.integers(1, 64),
+)
+@settings(max_examples=20, deadline=None)
+def test_prefill_grid_scalar_parity(seed, size, max_input, max_batch):
+    """prefill_latency_array / prefill_latency_grid are the scalar model bitwise.
+
+    Mirrors the decode-grid parity suite: the fast engine's coalesced prefill
+    epochs price whole queues through these kernels, so any ULP of drift here
+    breaks the engines' bitwise-identical-metrics contract.
+    """
+    from repro.costmodel.latency import ReplicaCostModel
+    from repro.parallelism.config import ReplicaPlan
+
+    a40 = [g.gpu_id for g in CLUSTER.gpus_of_type("A40")]
+    plan = ReplicaPlan.from_stage_lists([a40], [MODEL.num_layers])
+    cost = ReplicaCostModel(CLUSTER, plan, MODEL)
+    rng = np.random.default_rng(seed)
+    inputs = rng.integers(1, max_input + 1, size=size)
+    batches = rng.integers(1, max_batch + 1, size=size)
+    scalar = np.array(
+        [cost.prefill_latency(int(s), int(b)) for s, b in zip(inputs, batches)]
+    )
+    assert np.all(cost.prefill_latency_array(inputs, batches) == scalar)
+    assert np.all(cost.prefill_latency_grid(inputs, batches) == scalar)
+    # Warm-memo pass returns the same bits.
+    assert np.all(cost.prefill_latency_grid(inputs, batches) == scalar)

@@ -221,8 +221,10 @@ def test_robust_vs_static_experiment_worst_case_not_worse():
         aggregates["robust_objective"] >= aggregates["static_robust_objective"] - 1e-12
     )
 
-    # Six scenario rows plus the WORST-CASE and MEAN aggregate rows.
-    assert len(result.rows) == 8
+    # One row per registered scenario plus the WORST-CASE and MEAN aggregates.
+    from repro.scenarios import list_scenarios
+
+    assert len(result.rows) == len(list_scenarios()) + 2
     names = [row[0] for row in result.rows]
     assert names[-2:] == ["WORST-CASE", "MEAN"]
     worst_row = result.rows[-2]
