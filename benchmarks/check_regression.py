@@ -18,6 +18,16 @@ script splits the signal from the noise:
 * the baseline and fresh run used different benchmark modes (a reduced-mode
   run must not be judged against a full-mode baseline, or vice versa).
 
+Reports with ``"kind": "estimator_agreement"`` (the saturation-ramp benchmark)
+are gated under their own rules instead of the speedup rules:
+
+* an overloaded plan (``rho >= 1``) must estimate **exactly zero** attainment;
+* the worst ramp-point gap and the mean gap must sit within the tolerances the
+  report itself records;
+* the mean gap must not drift more than ``GAP_DRIFT_SLACK`` above the committed
+  baseline's — simulation seeds are pinned, so genuine estimator changes are
+  the only thing that moves it.
+
 **Non-gating** (printed as warnings): absolute wall-clock movements.  Those are
 dominated by runner hardware and CPU steal, so they stay advisory.
 
@@ -28,12 +38,14 @@ Usage::
         --fresh BENCH_simcore.json
 
 Several (baseline, fresh) pairs can be gated in one invocation — the CI
-bench-smoke job checks the decode-core and prefill-pipeline benchmarks
-together, under identical rules::
+bench-smoke job checks the decode-core, prefill-pipeline and
+estimator-saturation benchmarks together::
 
     python benchmarks/check_regression.py \
         --pair benchmarks/baselines/BENCH_simcore_reduced.json BENCH_simcore.json \
-        --pair benchmarks/baselines/BENCH_prefill_reduced.json BENCH_prefill.json
+        --pair benchmarks/baselines/BENCH_prefill_reduced.json BENCH_prefill.json \
+        --pair benchmarks/baselines/BENCH_estimator_saturation_reduced.json \
+               BENCH_estimator_saturation.json
 """
 
 from __future__ import annotations
@@ -50,6 +62,12 @@ DEFAULT_MAX_REGRESSION = 0.30
 #: printed.  Deliberately loose: shared runners routinely move 2x.
 WALLCLOCK_WARN_FACTOR = 2.0
 
+#: Absolute mean-gap growth vs. the baseline above which an estimator-agreement
+#: report fails.  Seeds are pinned, so the sim side is deterministic; only an
+#: estimator change can move the gap, and this much movement needs a fresh
+#: baseline (i.e. a deliberate decision), not a silent pass.
+GAP_DRIFT_SLACK = 0.03
+
 
 def load_report(path: str) -> Optional[Dict]:
     """Load a benchmark JSON report; ``None`` when missing or unparsable."""
@@ -58,6 +76,46 @@ def load_report(path: str) -> Optional[Dict]:
             return json.load(handle)
     except (OSError, ValueError):
         return None
+
+
+def compare_agreement(baseline: Dict, fresh: Dict) -> Tuple[List[str], List[str]]:
+    """Gate an estimator-agreement report (kind ``estimator_agreement``)."""
+    failures: List[str] = []
+    warnings: List[str] = []
+
+    if not fresh.get("overload_estimate_zero", False):
+        failures.append(
+            "overloaded plan no longer estimates exactly zero attainment "
+            f"(estimated {fresh.get('overload_estimated')!r} at "
+            f"rho {fresh.get('overload_rho')!r}) — the overload contract broke"
+        )
+
+    for key, bar_key in (("max_gap", "point_tolerance"), ("mean_gap", "mean_tolerance")):
+        try:
+            value = float(fresh[key])
+            bar = float(fresh[bar_key])
+        except (KeyError, TypeError, ValueError):
+            failures.append(f"{key}/{bar_key} missing from the fresh report")
+            continue
+        if value > bar:
+            failures.append(
+                f"{key} {value:.3f} exceeds the report's own tolerance {bar}"
+            )
+
+    try:
+        base_mean = float(baseline["mean_gap"])
+        fresh_mean = float(fresh["mean_gap"])
+    except (KeyError, TypeError, ValueError):
+        failures.append("mean_gap missing from baseline or fresh report")
+    else:
+        if fresh_mean > base_mean + GAP_DRIFT_SLACK:
+            failures.append(
+                f"mean estimator-vs-simulator gap drifted from {base_mean:.3f} "
+                f"to {fresh_mean:.3f} (> {GAP_DRIFT_SLACK} slack); if the "
+                "estimator change is intentional, regenerate the baseline"
+            )
+
+    return failures, warnings
 
 
 def compare(
@@ -75,6 +133,15 @@ def compare(
             f"run is {fresh_mode!r}; regenerate the baseline in the same mode"
         )
         return failures, warnings
+
+    if "estimator_agreement" in (baseline.get("kind"), fresh.get("kind")):
+        if baseline.get("kind") != fresh.get("kind"):
+            failures.append(
+                f"report kind mismatch: baseline is {baseline.get('kind')!r} "
+                f"but the fresh run is {fresh.get('kind')!r}"
+            )
+            return failures, warnings
+        return compare_agreement(baseline, fresh)
 
     if not fresh.get("identical_metrics", False):
         failures.append(
@@ -147,11 +214,18 @@ def check_pair(baseline_path: str, fresh_path: str, max_regression: float) -> in
         for message in failures:
             print(f"FAIL: [{name}] {message}")
         return len(failures)
-    print(
-        f"OK: [{name}] speedup {fresh['speedup']}x vs baseline "
-        f"{baseline['speedup']}x (mode {fresh.get('mode')!r}), "
-        "metrics bitwise-identical"
-    )
+    if fresh.get("kind") == "estimator_agreement":
+        print(
+            f"OK: [{name}] max gap {fresh['max_gap']} / mean gap "
+            f"{fresh['mean_gap']} within tolerances "
+            f"(mode {fresh.get('mode')!r}), overloaded plan estimates zero"
+        )
+    else:
+        print(
+            f"OK: [{name}] speedup {fresh['speedup']}x vs baseline "
+            f"{baseline['speedup']}x (mode {fresh.get('mode')!r}), "
+            "metrics bitwise-identical"
+        )
     return 0
 
 

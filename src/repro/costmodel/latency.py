@@ -383,6 +383,55 @@ class ReplicaCostModel:
                 memo[(s_list[i], b_list[i])] = value
         return out
 
+    def prefill_service_moments(
+        self,
+        input_lengths: Sequence[int] | np.ndarray,
+        weights: Sequence[float] | np.ndarray,
+        batch_size: int = 1,
+    ) -> Tuple[float, float]:
+        """Weighted first and second moments of the per-request prefill service time.
+
+        ``input_lengths`` are the distinct prompt lengths of a workload grid and
+        ``weights`` their probability masses (normalised internally).  The
+        serving engine pads a coalesced batch to its *longest* prompt — a batch
+        of ``B`` requests costs ``prefill_latency(max length, B)`` — so the
+        per-request service time a saturated replica actually delivers is
+        ``prefill_latency(max of B iid draws, B) / B``.  The max-of-``B`` prompt
+        length distribution follows from the grid by order statistics
+        (``P[max <= l_k] = F(l_k)^B``), each outcome is priced through the
+        memoized :meth:`prefill_latency_grid` and amortised over the batch.  At
+        ``batch_size == 1`` this reduces to the plain grid-weighted solo
+        moments.  The returned ``(E[S], E[S^2])`` feed the scheduler's M/G/1
+        (Pollaczek–Khinchine) queueing correction: the squared coefficient of
+        variation ``E[S^2]/E[S]^2 - 1`` is what separates a long-context RAG
+        mix from a near-deterministic chat mix at the same utilisation.
+        """
+        s = np.asarray(input_lengths, dtype=np.int64)
+        w = np.asarray(weights, dtype=np.float64)
+        if s.shape != w.shape:
+            raise ValueError("input_lengths and weights must have the same shape")
+        if s.size == 0:
+            raise ValueError("at least one input length is required")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if float(w.min()) < 0 or float(w.sum()) <= 0:
+            raise ValueError("weights must be non-negative with positive mass")
+        order = np.argsort(s, kind="stable")
+        s = s[order]
+        w = w[order] / w.sum()
+        # Distribution of the padded batch length: max of ``batch_size`` iid
+        # draws from the grid mix, P[max = l_k] = F(l_k)^B - F(l_{k-1})^B.
+        cdf = np.cumsum(w)
+        cdf[-1] = 1.0  # guard against float drift in the top cell
+        p_max = np.power(cdf, batch_size) - np.power(
+            np.concatenate(([0.0], cdf[:-1])), batch_size
+        )
+        batches = np.full(s.shape, batch_size, dtype=np.int64)
+        service = self.prefill_latency_grid(s, batches) / float(batch_size)
+        m1 = float(np.sum(p_max * service))
+        m2 = float(np.sum(p_max * service * service))
+        return m1, m2
+
     # ------------------------------------------------------------------ decode
     def decode_step_latency(self, batch_size: int, context_length: int) -> float:
         """Time of one decode step (one token per sequence) for a batch."""

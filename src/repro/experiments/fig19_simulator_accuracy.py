@@ -1,7 +1,8 @@
 """Figure 19 (Appendix J): accuracy of the scheduler's analytic estimator.
 
 Left panel — SLO attainment: the scheduler's analytic estimator (quantile-grid
-latencies + M/D/1 queueing correction + routed LP mass) versus the discrete-event
+latencies + two-moment M/G/1 queueing with padded-batch service moments +
+routed LP mass; see ``repro.scheduling.estimator``) versus the discrete-event
 simulator, swept over SLO scales.
 
 Right panel — the alpha-beta KV-communication model: the Equation-1 estimate of

@@ -217,6 +217,10 @@ class ScenarioSweep:
         trace = scenario.build_trace(seed=self._scenario_seed(scenario))
         system = self._build_system(scenario, cluster, model)
         system.adopt_plan(plan, reason=f"scenario sweep: {scenario.name}")
+        # Plan changes are installs *after* the adoption just recorded — counted
+        # against this snapshot rather than by subtracting a hard-coded 1, so a
+        # system serving without a prior install can never go negative.
+        installs_at_adoption = sum(1 for e in system.events if e.kind == "plan_installed")
 
         events = sorted(scenario.failure_schedule(), key=lambda e: e.time)
         if not events:
@@ -228,7 +232,8 @@ class ScenarioSweep:
         per_tenant: Dict[str, float] = {}
         if isinstance(scenario, MultiTenantSLOTiersScenario):
             per_tenant = self._tenant_attainment(scenario, result, model)
-        plan_changes = sum(1 for e in system.events if e.kind == "plan_installed") - 1
+        installs = sum(1 for e in system.events if e.kind == "plan_installed")
+        plan_changes = max(0, installs - installs_at_adoption)
         return ScenarioOutcome(
             scenario=scenario.name,
             description=scenario.description,

@@ -13,6 +13,18 @@ the workload's prompt- and response-length distributions) and, for each
 of every grid point.  The fraction of grid probability mass meeting the SLO
 deadline is the pair's estimated attainment ``D_ij``.
 
+Prefill queueing uses a two-moment M/G/1 (Pollaczek–Khinchine) correction: the
+service-time mean and squared coefficient of variation are computed from the
+workload grid through the cost model's memoized prefill latency grids
+(:meth:`ReplicaCostModel.prefill_service_moments`), so a long-context RAG mix
+queues harder than a near-deterministic chat mix at the same utilisation.  The
+model is deliberately honest about saturation: at ``rho >= 1`` the queue wait
+is driven to :data:`OVERLOAD_QUEUE_WAIT_S` (divergent, capped far beyond any
+horizon) and the pair's attainment is exactly zero — an overloaded replica is
+infeasible, not "95%-utilised".  The Figure-19 agreement harness and the gated
+``bench_estimator_saturation`` benchmark pin the estimator against the
+discrete-event simulator across a utilisation ramp up to rho ~ 0.95.
+
 The grid evaluation is fully vectorized: the roofline cost model is invoked only
 once per *distinct* grid length per replica (those per-replica latency vectors are
 cached across calls, keyed by the replica's structural identity), and the
@@ -44,6 +56,12 @@ from repro.scheduling.deployment import ServingGroup
 from repro.workload.spec import WorkloadSpec
 
 
+#: Queue wait assigned to an overloaded (``rho >= 1``) prefill replica: the
+#: M/G/1 wait diverges at saturation, so instead of a silently clamped finite
+#: value the estimator reports a wait far beyond any plausible SLO deadline or
+#: simulation horizon, which drives the pair's attainment to exactly zero.
+OVERLOAD_QUEUE_WAIT_S = 1.0e9
+
 #: Structural identity of a serving group: the GPU set, the phase and the parallel
 #: plan's stage layout.  Two groups with the same key have identical cost models
 #: regardless of their ``group_id``, so cached performance figures can be shared
@@ -71,13 +89,20 @@ class ReplicaPerformance:
     cost:
         The replica's roofline cost model.
     prefill_service_s:
-        Effective per-request prefill service time of the workload's mean
-        prompt under the estimator's prefill batching assumption: the batched
-        latency divided by the batch size (equal to the solo latency when
-        ``prefill_batch_requests`` is 1).  This is the service time the M/D/1
-        queueing term and the capacity figures are built from — the simulator
-        coalesces queued prompts into batches, so a saturated replica serves
-        requests at the batched rate, not the solo rate.
+        Workload-weighted mean per-request prefill service time under the
+        engine's *padded* prefill batching: a coalesced batch is priced at its
+        longest prompt, so a saturated replica's per-request service time is
+        the batched latency at the max-of-``B`` prompt length, amortised over
+        the batch (see :meth:`ReplicaCostModel.prefill_service_moments`).
+        Equal to the grid-weighted solo latency when ``prefill_batch_requests``
+        is 1.  This is the service time the M/G/1 queueing term and the
+        capacity figures are built from — it is what bounds a replica's real
+        sustainable throughput, not the solo rate.
+    prefill_service_cv2:
+        Squared coefficient of variation of that service time across the
+        workload grid (``E[S^2]/E[S]^2 - 1``) — the second moment the
+        Pollaczek–Khinchine queueing correction needs.  Zero for a
+        deterministic prompt-length mix; grows with prompt-length spread.
     prefill_capacity_rps:
         Sustainable prefill requests/s at the target utilisation.
     decode_max_batch:
@@ -89,6 +114,7 @@ class ReplicaPerformance:
     group: ServingGroup
     cost: ReplicaCostModel
     prefill_service_s: float
+    prefill_service_cv2: float
     prefill_capacity_rps: float
     decode_max_batch: int
     decode_token_capacity: float
@@ -98,8 +124,13 @@ class ReplicaPerformance:
 
         Found by scanning batch sizes (decode throughput is monotone in the batch
         size for a memory-bound replica); returns the max batch when even it
-        cannot keep up.
+        cannot keep up, and 0 when the replica is KV-infeasible
+        (``decode_max_batch == 0``) — no batch at all fits, so callers must
+        treat the replica as unable to serve rather than silently running it
+        at batch 1.
         """
+        if self.decode_max_batch < 1:
+            return 0
         if token_rate <= 0:
             return 1
         lo, hi = 1, max(1, self.decode_max_batch)
@@ -234,6 +265,11 @@ class SLOEstimator:
         self._distinct_inputs = sorted(set(int(s) for s in self._s_ins))
         input_pos = {s: k for k, s in enumerate(self._distinct_inputs)}
         self._input_idx = np.array([input_pos[int(s)] for s in self._s_ins])
+        #: probability mass of each distinct prompt length (feeds the M/G/1
+        #: service-time moments of every prefill replica)
+        self._distinct_input_weights = np.bincount(
+            self._input_idx, weights=self._weights, minlength=len(self._distinct_inputs)
+        )
         ctxs = [int(s + o // 2) for s, o in zip(self._s_ins, self._s_outs)]
         self._distinct_ctxs = sorted(set(ctxs))
         ctx_pos = {c: k for k, c in enumerate(self._distinct_ctxs)}
@@ -267,6 +303,7 @@ class SLOEstimator:
                 group=group,
                 cost=cached.cost,
                 prefill_service_s=cached.prefill_service_s,
+                prefill_service_cv2=cached.prefill_service_cv2,
                 prefill_capacity_rps=cached.prefill_capacity_rps,
                 decode_max_batch=cached.decode_max_batch,
                 decode_token_capacity=cached.decode_token_capacity,
@@ -275,9 +312,16 @@ class SLOEstimator:
         # Effective per-request service time under the engine's prefill
         # batching: a loaded replica drains its queue in coalesced batches, so
         # its throughput is the batched latency amortised over the batch.  At
-        # batch 1 this is exactly the solo prefill latency.
+        # batch 1 this is exactly the solo prefill latency.  The first and
+        # second moments are taken across the workload grid's prompt lengths so
+        # the M/G/1 queueing term sees the mix's real service-time variability,
+        # not just its mean-prompt point value.
         batch = self.prefill_batch_requests
-        prefill_service = cost.prefill_latency(self.mean_input, batch_size=batch) / batch
+        m1, m2 = cost.prefill_service_moments(
+            self._distinct_inputs, self._distinct_input_weights, batch_size=batch
+        )
+        prefill_service = m1
+        prefill_cv2 = max(0.0, m2 / (m1 * m1) - 1.0) if m1 > 0 else 0.0
         prefill_capacity = self.target_utilization / prefill_service
         context = self.mean_input + self.mean_output
         max_batch = cost.max_decode_batch(context)
@@ -290,6 +334,7 @@ class SLOEstimator:
             group=group,
             cost=cost,
             prefill_service_s=prefill_service,
+            prefill_service_cv2=prefill_cv2,
             prefill_capacity_rps=prefill_capacity,
             decode_max_batch=max_batch,
             decode_token_capacity=token_capacity,
@@ -344,16 +389,70 @@ class SLOEstimator:
         alpha, beta = link
         return (alpha + self._kv_volume / beta)[self._input_idx]
 
-    @staticmethod
-    def _queue_wait(prefill: ReplicaPerformance, utilization: float) -> float:
-        """M/D/1 queueing-delay term of one prefill replica at ``utilization``.
+    def _queue_wait(self, prefill: ReplicaPerformance, utilization: float) -> float:
+        """Congestion delay (queueing + batch co-service) of one prefill replica.
 
-        ``prefill_service_s`` is the *batching-effective* per-request service
-        time (batched latency / batch size), so the wait already accounts for
-        the engine coalescing queued prompts into multi-request batches.
+        The first term is the M/G/1 (Pollaczek–Khinchine) wait
+        ``W_q = rho / (1 - rho) * (1 + CV^2) / 2 * E[S]`` with the service-time
+        mean and squared coefficient of variation taken across the workload
+        grid.  ``prefill_service_s`` is the *batching-effective* per-request
+        service time — the padded batch latency amortised over the batch — so
+        the wait already accounts for the engine coalescing queued prompts into
+        multi-request batches.
+
+        The second term models batch co-service: the engine's FIFO batching
+        releases a request's first token only when its whole batch completes,
+        so under load a request additionally waits for its batch-mates.  The
+        expected batch fill follows from Little's law — a batch picks up
+        roughly the ``lambda * W_q`` requests that queued while the previous
+        batch ran, capped at the engine's batch limit — and each extra
+        batch-mate adds one amortised service time.
+
+        The utilisation is NOT clamped: as ``rho`` approaches 1 the wait
+        diverges, and at ``rho >= 1`` (an overloaded replica) it is pinned to
+        :data:`OVERLOAD_QUEUE_WAIT_S` so attainment collapses to zero instead
+        of flattering an infeasible operating point.
         """
-        rho = min(max(utilization, 0.0), 0.98)
-        return rho / (2.0 * (1.0 - rho)) * prefill.prefill_service_s
+        rho = max(utilization, 0.0)
+        if rho >= 1.0:
+            return OVERLOAD_QUEUE_WAIT_S
+        wait = (
+            rho / (1.0 - rho)
+            * (1.0 + prefill.prefill_service_cv2) / 2.0
+            * prefill.prefill_service_s
+        )
+        if prefill.prefill_service_s > 0.0:
+            fill = min(
+                float(self.prefill_batch_requests),
+                1.0 + rho / prefill.prefill_service_s * wait,
+            )
+            wait += (fill - 1.0) * prefill.prefill_service_s
+        return min(wait, OVERLOAD_QUEUE_WAIT_S)
+
+    @staticmethod
+    def _wait_hit_prob(slack: np.ndarray, wait: float, rho: float) -> np.ndarray:
+        """P[congestion wait <= slack] per grid point.
+
+        Thresholding a deterministic wait would make estimated attainment a
+        knife-edge step function of utilisation, which the simulator does not
+        exhibit.  Instead the congestion delay is modelled with the classic
+        two-parameter M/G/1 approximation (exact for M/M/1): an arriving
+        request waits only with probability ``rho`` (PASTA — the server is
+        busy), and the conditional wait is exponential with mean ``W / rho`` so
+        the unconditional mean stays ``W``:
+
+        ``P[wait > t] = rho * exp(-rho * t / W)``.
+
+        At ``W == 0`` this degenerates to the sharp indicator ``slack >= 0``;
+        negative slack (deadline unmeetable even with an empty queue) is always
+        a miss.
+        """
+        hit = (slack >= 0.0).astype(np.float64)
+        if wait > 0.0 and rho > 0.0:
+            hit = hit * (
+                (1.0 - rho) - rho * np.expm1(-rho * np.maximum(slack, 0.0) / wait)
+            )
+        return hit
 
     # ------------------------------------------------------------------ pairs
     def pair_estimate(
@@ -365,32 +464,50 @@ class SLOEstimator:
     ) -> PairEstimate:
         """Latency breakdown and attainment of one (prefill, decode) pair.
 
-        ``prefill_utilization`` adds an M/D/1 queueing-delay term on the prefill
-        side; ``decode_batch`` is the decode replica's operating batch size
-        (defaults to the batch needed for its fair share of the token demand).
+        ``prefill_utilization`` adds the M/G/1 queueing-delay term on the
+        prefill side (divergent at ``rho >= 1``); ``decode_batch`` is the
+        decode replica's operating batch size (defaults to the batch needed for
+        its fair share of the token demand).  A KV-infeasible decode replica
+        (``decode_max_batch == 0``, or an explicit ``decode_batch`` of 0) gets
+        an overload-sized TPOT, so every attainment figure of the pair is zero.
         """
         if decode_batch is None:
-            decode_batch = max(1, min(decode.decode_max_batch, 8))
-        decode_batch = max(1, decode_batch)
+            decode_batch = min(decode.decode_max_batch, 8)
 
-        ttft = self._queue_wait(prefill, prefill_utilization) + self._prefill_grid(prefill)
+        wait = self._queue_wait(prefill, prefill_utilization)
+        ttft_base = self._prefill_grid(prefill)
         kv = self._kv_grid(prefill, decode)
-        tpot = self._decode_grid(decode, decode_batch)
-        e2e = ttft + kv + tpot * self._out_factor
+        if decode.decode_max_batch < 1 or decode_batch < 1:
+            tpot = np.full(len(self._grid), OVERLOAD_QUEUE_WAIT_S)
+        else:
+            tpot = self._decode_grid(decode, int(decode_batch))
+        e2e_base = ttft_base + kv + tpot * self._out_factor
 
         w = self._weights
         total_w = self._weight_sum
         means = np.array(
-            [float(np.sum(w * v)) for v in (ttft, kv, tpot, e2e)]
+            [float(np.sum(w * v)) for v in (ttft_base, kv, tpot, e2e_base)]
         ) / max(total_w, 1e-12)
+        # A pair that cannot serve — overloaded prefill or KV-infeasible decode —
+        # attains nothing, whatever the SLO type measures.
+        serving = 1.0 if (
+            prefill_utilization < 1.0 and decode.decode_max_batch >= 1 and decode_batch >= 1
+        ) else 0.0
+        rho = min(max(prefill_utilization, 0.0), 1.0)
+        att_e2e = float(
+            np.sum(w * self._wait_hit_prob(self.slo.e2e - e2e_base, wait, rho)) / total_w
+        )
+        att_ttft = float(
+            np.sum(w * self._wait_hit_prob(self.slo.ttft - ttft_base, wait, rho)) / total_w
+        )
         return PairEstimate(
-            ttft=float(means[0]),
+            ttft=float(means[0]) + wait,
             kv_transfer=float(means[1]),
             tpot=float(means[2]),
-            e2e=float(means[3]),
-            attainment_e2e=float(np.sum(w * (e2e <= self.slo.e2e)) / total_w),
-            attainment_ttft=float(np.sum(w * (ttft <= self.slo.ttft)) / total_w),
-            attainment_tpot=float(np.sum(w * (tpot <= self.slo.tpot)) / total_w),
+            e2e=float(means[3]) + wait,
+            attainment_e2e=serving * att_e2e,
+            attainment_ttft=serving * att_ttft,
+            attainment_tpot=serving * float(np.sum(w * (tpot <= self.slo.tpot)) / total_w),
         )
 
     def attainment_matrix(
@@ -407,6 +524,12 @@ class SLOEstimator:
         per-replica latency vectors: the cost model is invoked only for grid
         lengths not already cached for a replica, and the SLO thresholding is a
         single vectorized comparison.
+
+        Saturation semantics: a prefill replica at ``rho >= 1`` (its M/G/1 wait
+        has diverged) zeroes its whole row, and a KV-infeasible decode replica
+        (``decode_max_batch == 0`` or an operating batch of 0) zeroes its whole
+        column — for *every* SLO type, since a pair that cannot serve attains
+        nothing regardless of which latency the SLO measures.
         """
         m, n = len(prefills), len(decodes)
         d = np.zeros((m, n))
@@ -415,27 +538,52 @@ class SLOEstimator:
         w = self._weights
         total_w = self._weight_sum
 
-        # Per-prefill TTFT per grid point (queue wait + prefill service of s_in).
+        # Per-prefill congestion wait and base (no-queue) TTFT per grid point.
         ttft = np.empty((m, len(self._grid)))
+        waits = np.empty(m)
+        rhos = np.empty(m)
+        overloaded = np.zeros(m, dtype=bool)
         for i, p in enumerate(prefills):
             rho = prefill_utilizations[i] if prefill_utilizations is not None else 0.5
-            ttft[i] = self._queue_wait(p, rho) + self._prefill_grid(p)
+            overloaded[i] = rho >= 1.0
+            waits[i] = self._queue_wait(p, rho)
+            rhos[i] = min(max(rho, 0.0), 1.0)
+            ttft[i] = self._prefill_grid(p)
+
+        # KV-infeasible decode replicas (no batch fits) cannot serve at all.
+        infeasible = np.zeros(n, dtype=bool)
+        batches = np.empty(n, dtype=np.int64)
+        for j, q in enumerate(decodes):
+            batch = decode_batches[j] if decode_batches is not None else None
+            if batch is None:
+                batch = min(q.decode_max_batch, 8)
+            batches[j] = int(batch)
+            infeasible[j] = q.decode_max_batch < 1 or int(batch) < 1
 
         if slo_type is SLOType.TTFT:
-            att = (w * (ttft <= self.slo.ttft)).sum(axis=1) / total_w
-            return np.repeat(att[:, None], n, axis=1)
+            att = np.empty(m)
+            for i in range(m):
+                hit = self._wait_hit_prob(self.slo.ttft - ttft[i], waits[i], rhos[i])
+                att[i] = (w * hit).sum() / total_w
+            att[overloaded] = 0.0
+            d = np.repeat(att[:, None], n, axis=1)
+            d[:, infeasible] = 0.0
+            return d
 
         # Per-decode TPOT per grid point (step latency at the operating batch).
         tpot = np.empty((n, len(self._grid)))
         for j, q in enumerate(decodes):
-            batch = decode_batches[j] if decode_batches is not None else None
-            if batch is None:
-                batch = max(1, min(q.decode_max_batch, 8))
-            tpot[j] = self._decode_grid(q, max(1, int(batch)))
+            if infeasible[j]:
+                tpot[j] = OVERLOAD_QUEUE_WAIT_S
+            else:
+                tpot[j] = self._decode_grid(q, int(batches[j]))
 
         if slo_type is SLOType.TPOT:
             att = (w * (tpot <= self.slo.tpot)).sum(axis=1) / total_w
-            return np.repeat(att[None, :], m, axis=0)
+            att[infeasible] = 0.0
+            d = np.repeat(att[None, :], m, axis=0)
+            d[overloaded, :] = 0.0
+            return d
 
         # Per-pair KV transfer time (depends on s_in and the pair's best link).
         kv = np.empty((m, n, len(self._grid)))
@@ -443,7 +591,12 @@ class SLOEstimator:
             for j, q in enumerate(decodes):
                 kv[i, j] = self._kv_grid(p, q)
         e2e = ttft[:, None, :] + kv + (tpot * self._out_factor)[None, :, :]
-        return (w * (e2e <= self.slo.e2e)).sum(axis=2) / total_w
+        for i in range(m):
+            hit = self._wait_hit_prob(self.slo.e2e - e2e[i], waits[i], rhos[i])
+            d[i] = (w * hit).sum(axis=1) / total_w
+        d[overloaded, :] = 0.0
+        d[:, infeasible] = 0.0
+        return d
 
     def attainment_matrix_reference(
         self,
@@ -453,13 +606,15 @@ class SLOEstimator:
         decode_batches: Optional[Sequence[int]] = None,
         slo_type: SLOType = SLOType.E2E,
     ) -> np.ndarray:
-        """Pre-vectorization scalar implementation of :meth:`attainment_matrix`.
+        """Scalar reference implementation of :meth:`attainment_matrix`.
 
-        Kept verbatim as the ground truth for the vectorized fast path: the
-        property tests assert agreement to 1e-9 and ``bench_scenario_sweep``
-        measures the speedup against it.  It deliberately bypasses the estimator's
-        per-replica caches, invoking the cost model per distinct grid length on
-        every call like the original code did.
+        Kept as the ground truth for the vectorized fast path: the property
+        tests assert agreement to 1e-9 — including the M/G/1 queueing term, the
+        ``rho >= 1`` overload collapse and the KV-infeasible decode handling —
+        and ``bench_scenario_sweep`` measures the speedup against it.  It
+        deliberately bypasses the estimator's per-replica caches, invoking the
+        cost model per distinct grid length on every call like the original
+        code did.
         """
         m, n = len(prefills), len(decodes)
         d = np.zeros((m, n))
@@ -471,21 +626,51 @@ class SLOEstimator:
         distinct_inputs = sorted(set(int(s) for s in s_ins))
 
         ttft = np.zeros((m, len(self._grid)))
+        waits = [0.0] * m
+        rhos = [0.0] * m
+        overloaded = [False] * m
         for i, p in enumerate(prefills):
             rho = prefill_utilizations[i] if prefill_utilizations is not None else 0.5
-            rho = min(max(rho, 0.0), 0.98)
-            queue_wait = rho / (2.0 * (1.0 - rho)) * p.prefill_service_s
+            rho = max(rho, 0.0)
+            if rho >= 1.0:
+                # The M/G/1 wait diverges at saturation: an overloaded replica
+                # gets a horizon-dwarfing wait and exactly zero attainment.
+                overloaded[i] = True
+                queue_wait = OVERLOAD_QUEUE_WAIT_S
+            else:
+                # P-K wait plus the Little's-law batch co-service term, with
+                # float operations in the exact order of ``_queue_wait``.
+                queue_wait = (
+                    rho / (1.0 - rho)
+                    * (1.0 + p.prefill_service_cv2) / 2.0
+                    * p.prefill_service_s
+                )
+                if p.prefill_service_s > 0.0:
+                    fill = min(
+                        float(self.prefill_batch_requests),
+                        1.0 + rho / p.prefill_service_s * queue_wait,
+                    )
+                    queue_wait += (fill - 1.0) * p.prefill_service_s
+                queue_wait = min(queue_wait, OVERLOAD_QUEUE_WAIT_S)
+            waits[i] = queue_wait
+            rhos[i] = min(max(rho, 0.0), 1.0)
             per_input = {
-                s: queue_wait + p.cost.prefill_latency(s, batch_size=1) for s in distinct_inputs
+                s: p.cost.prefill_latency(s, batch_size=1) for s in distinct_inputs
             }
             ttft[i] = [per_input[int(s)] for s in s_ins]
 
         tpot = np.zeros((n, len(self._grid)))
+        infeasible = [False] * n
         for j, q in enumerate(decodes):
             batch = decode_batches[j] if decode_batches is not None else None
             if batch is None:
-                batch = max(1, min(q.decode_max_batch, 8))
-            batch = max(1, int(batch))
+                batch = min(q.decode_max_batch, 8)
+            batch = int(batch)
+            if q.decode_max_batch < 1 or batch < 1:
+                # KV-infeasible decode replica: no batch fits, nothing is served.
+                infeasible[j] = True
+                tpot[j] = OVERLOAD_QUEUE_WAIT_S
+                continue
             cache: Dict[int, float] = {}
             vals = []
             for s_in, s_out in zip(s_ins, s_outs):
@@ -509,12 +694,15 @@ class SLOEstimator:
                         bits=self.kv_transport_bits,
                     )
             for j in range(n):
+                if overloaded[i] or infeasible[j]:
+                    d[i, j] = 0.0
+                    continue
                 kv = np.array([kv_per_input[(j, int(s))] for s in s_ins])
                 e2e = ttft[i] + kv + tpot[j] * np.maximum(0, s_outs - 1)
                 if slo_type is SLOType.E2E:
-                    hit = e2e <= self.slo.e2e
+                    hit = self._wait_hit_prob(self.slo.e2e - e2e, waits[i], rhos[i])
                 elif slo_type is SLOType.TTFT:
-                    hit = ttft[i] <= self.slo.ttft
+                    hit = self._wait_hit_prob(self.slo.ttft - ttft[i], waits[i], rhos[i])
                 else:
                     hit = tpot[j] <= self.slo.tpot
                 d[i, j] = float(np.sum(weights * hit) / np.sum(weights))
@@ -537,4 +725,9 @@ class SLOEstimator:
         return min(1.0, perf.decode_token_capacity / self.token_demand)
 
 
-__all__ = ["ReplicaPerformance", "PairEstimate", "SLOEstimator"]
+__all__ = [
+    "OVERLOAD_QUEUE_WAIT_S",
+    "ReplicaPerformance",
+    "PairEstimate",
+    "SLOEstimator",
+]

@@ -35,6 +35,23 @@ def report(**overrides):
     return payload
 
 
+def agreement_report(**overrides):
+    payload = {
+        "benchmark": "bench_estimator_saturation",
+        "kind": "estimator_agreement",
+        "mode": "reduced",
+        "max_gap": 0.14,
+        "mean_gap": 0.07,
+        "point_tolerance": 0.20,
+        "mean_tolerance": 0.10,
+        "overload_rho": 1.3,
+        "overload_estimated": 0.0,
+        "overload_estimate_zero": True,
+    }
+    payload.update(overrides)
+    return payload
+
+
 def write(path: Path, payload) -> str:
     path.write_text(json.dumps(payload))
     return str(path)
@@ -86,6 +103,53 @@ class TestCompare:
         assert any("speedup missing" in f for f in failures)
 
 
+class TestCompareAgreement:
+    """The estimator-agreement kind is gated by gaps, not speedups."""
+
+    def test_healthy_agreement_report_passes(self):
+        failures, warnings = check_regression.compare(
+            agreement_report(), agreement_report(mean_gap=0.08)
+        )
+        assert failures == []
+        assert warnings == []
+
+    def test_broken_overload_contract_fails(self):
+        failures, _ = check_regression.compare(
+            agreement_report(),
+            agreement_report(overload_estimated=0.42, overload_estimate_zero=False),
+        )
+        assert any("overload contract" in f for f in failures)
+
+    def test_gap_beyond_own_tolerance_fails(self):
+        failures, _ = check_regression.compare(
+            agreement_report(), agreement_report(max_gap=0.25)
+        )
+        assert any("exceeds the report's own tolerance" in f for f in failures)
+
+    def test_mean_gap_drift_beyond_slack_fails(self):
+        # Within tolerance (0.07 -> 0.10 <= 0.10) but > 0.03 above the baseline.
+        failures, _ = check_regression.compare(
+            agreement_report(), agreement_report(mean_gap=0.101)
+        )
+        assert any("drifted" in f for f in failures)
+
+    def test_missing_gap_keys_fail_instead_of_passing_vacuously(self):
+        fresh = agreement_report()
+        del fresh["max_gap"]
+        failures, _ = check_regression.compare(agreement_report(), fresh)
+        assert any("max_gap" in f for f in failures)
+
+    def test_kind_mismatch_fails(self):
+        failures, _ = check_regression.compare(agreement_report(), report())
+        assert any("kind mismatch" in f for f in failures)
+
+    def test_speedup_rules_not_applied_to_agreement_reports(self):
+        # An agreement report has no speedup/drain keys; the speedup rules
+        # must not fire spuriously.
+        failures, _ = check_regression.compare(agreement_report(), agreement_report())
+        assert failures == []
+
+
 class TestMain:
     def test_healthy_exit_zero(self, tmp_path, capsys):
         base = write(tmp_path / "base.json", report())
@@ -124,7 +188,12 @@ class TestMain:
         )
 
     @pytest.mark.parametrize(
-        "name", ["BENCH_simcore_reduced.json", "BENCH_prefill_reduced.json"]
+        "name",
+        [
+            "BENCH_simcore_reduced.json",
+            "BENCH_prefill_reduced.json",
+            "BENCH_estimator_saturation_reduced.json",
+        ],
     )
     def test_gates_against_the_committed_baseline(self, name):
         """Every committed reduced-mode baseline is readable and self-consistent."""

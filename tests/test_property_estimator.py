@@ -101,22 +101,102 @@ def test_vectorized_matches_scalar_reference(hetero_cluster, model_13b, workload
     slo = a100_reference_latency(model_13b, workload).slo_spec(slo_scale)
     estimator = SLOEstimator(hetero_cluster, model_13b, workload, slo, request_rate=2.0)
     prefills, decodes = _fleet(hetero_cluster, model_13b, workload, estimator)
-    utilizations = [0.3]
-    batches = [4]
-    for slo_type in SLOType:
-        fast = estimator.attainment_matrix(
-            prefills, decodes,
-            prefill_utilizations=utilizations,
-            decode_batches=batches,
-            slo_type=slo_type,
+    # Exercise the whole operating range: light load, deep saturation (the
+    # M/G/1 wait at rho = 0.97 is ~30x the service time), outright overload
+    # (rho >= 1 collapses the row to zero) and a KV-infeasible decode batch.
+    for utilizations, batches in [
+        ([0.3], [4]),
+        ([0.97], [4]),
+        ([1.0], [4]),
+        ([1.3], [4]),
+        ([0.5], [0]),
+    ]:
+        for slo_type in SLOType:
+            fast = estimator.attainment_matrix(
+                prefills, decodes,
+                prefill_utilizations=utilizations,
+                decode_batches=batches,
+                slo_type=slo_type,
+            )
+            reference = estimator.attainment_matrix_reference(
+                prefills, decodes,
+                prefill_utilizations=utilizations,
+                decode_batches=batches,
+                slo_type=slo_type,
+            )
+            np.testing.assert_allclose(fast, reference, atol=1e-9, rtol=0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    token_rate=st.floats(min_value=0.0, max_value=5e4),
+    max_batch=st.integers(min_value=0, max_value=64),
+    context=st.integers(min_value=64, max_value=4096),
+)
+def test_decode_operating_batch_sustains_rate(
+    hetero_cluster, model_13b, conversation_workload, token_rate, max_batch, context
+):
+    """The returned batch sustains the requested token rate whenever any batch can.
+
+    A KV-infeasible replica (``decode_max_batch == 0``) must return 0 instead of
+    silently running at batch 1; otherwise the scan must return a batch whose
+    throughput covers ``token_rate`` whenever *any* feasible batch's does.
+    """
+    from dataclasses import replace
+
+    from repro.costmodel.reference import a100_reference_latency
+
+    slo = a100_reference_latency(model_13b, conversation_workload).slo_spec(5.0)
+    estimator = SLOEstimator(
+        hetero_cluster, model_13b, conversation_workload, slo, request_rate=2.0
+    )
+    _, decodes = _fleet(hetero_cluster, model_13b, conversation_workload, estimator)
+    perf = replace(decodes[0], decode_max_batch=max_batch)
+    batch = perf.decode_operating_batch(token_rate, context)
+    if max_batch == 0:
+        assert batch == 0, "a KV-infeasible replica must not pretend to serve"
+        return
+    assert 1 <= batch <= max_batch
+    throughputs = [
+        b / perf.cost.decode_step_latency(b, context) for b in range(1, max_batch + 1)
+    ]
+    if any(t >= token_rate for t in throughputs):
+        assert batch / perf.cost.decode_step_latency(batch, context) >= token_rate, (
+            f"batch {batch} cannot sustain {token_rate:.1f} tok/s although some "
+            f"batch in 1..{max_batch} can"
         )
-        reference = estimator.attainment_matrix_reference(
-            prefills, decodes,
-            prefill_utilizations=utilizations,
-            decode_batches=batches,
-            slo_type=slo_type,
-        )
-        np.testing.assert_allclose(fast, reference, atol=1e-9, rtol=0.0)
+
+
+def test_overload_zeroes_attainment_in_both_paths(
+    hetero_cluster, model_13b, conversation_workload
+):
+    """``rho >= 1`` yields exactly zero attainment for every SLO type and path."""
+    from repro.costmodel.reference import a100_reference_latency
+
+    slo = a100_reference_latency(model_13b, conversation_workload).slo_spec(50.0)
+    estimator = SLOEstimator(
+        hetero_cluster, model_13b, conversation_workload, slo, request_rate=2.0
+    )
+    prefills, decodes = _fleet(hetero_cluster, model_13b, conversation_workload, estimator)
+    for rho in (1.0, 1.5, 10.0):
+        for slo_type in SLOType:
+            for method in (
+                estimator.attainment_matrix,
+                estimator.attainment_matrix_reference,
+            ):
+                d = method(
+                    prefills, decodes,
+                    prefill_utilizations=[rho],
+                    slo_type=slo_type,
+                )
+                assert np.all(d == 0.0), (
+                    f"{method.__name__} flattered an overloaded replica: "
+                    f"rho={rho}, {slo_type.value}, d={d}"
+                )
+    # The generous SLO attains near-perfectly just below saturation: zeroing at
+    # rho >= 1 is a discontinuity of the overload contract, not SLO tightness.
+    ok = estimator.attainment_matrix(prefills, decodes, prefill_utilizations=[0.5])
+    assert ok[0, 0] > 0.9
 
 
 def test_replica_performance_memoized_across_group_ids(

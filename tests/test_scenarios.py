@@ -295,3 +295,92 @@ def _tiny_serving_context():
 def test_summarize_rejects_empty():
     with pytest.raises(ValueError):
         ScenarioSweep.summarize({})
+
+
+# ----------------------------------------------------------- plan-change counter
+def test_plan_change_counter_zero_without_failures():
+    """A scenario with no failure events reports exactly zero plan changes."""
+    cluster, model, plan = _tiny_serving_context()
+    scenario = get_scenario("diurnal", duration=SMOKE_DURATION)
+    sweep = ScenarioSweep([scenario], seed=0)
+    outcome = sweep._run_one(scenario, cluster, model, plan)
+    assert outcome.num_plan_changes == 0
+
+
+def test_plan_change_counter_never_negative_without_install_event(monkeypatch):
+    """Counting is anchored at the adoption snapshot, not ``installs - 1``.
+
+    A system that starts serving without a recorded ``plan_installed`` event
+    (the old code subtracted a hard-coded 1 and went to -1 here) must report
+    zero plan changes.
+    """
+    from repro.serving.coordinator import RequestCoordinator
+
+    cluster, model, plan = _tiny_serving_context()
+
+    def quiet_adopt(self, plan, reason="quiet"):
+        # Install the plan without appending a ``plan_installed`` event,
+        # emulating a pre-provisioned system that never went through
+        # ``adopt_plan``/``deploy``.
+        self.plan = plan
+        self.coordinator = RequestCoordinator(plan)
+        self._simulator = None
+        self.profiler.set_reference_from_spec(self.workload, self.request_rate)
+        return plan
+
+    monkeypatch.setattr(ThunderServe, "adopt_plan", quiet_adopt)
+    scenario = get_scenario("diurnal", duration=SMOKE_DURATION)
+    sweep = ScenarioSweep([scenario], seed=0)
+    outcome = sweep._run_one(scenario, cluster, model, plan)
+    assert outcome.num_plan_changes == 0, (
+        f"plan-change counter went to {outcome.num_plan_changes} on a system "
+        "with no prior install event"
+    )
+
+
+# ------------------------------------------------------- failure-window boundary
+def _boundary_trace(times):
+    """A tiny trace with one conversation-shaped request per arrival time."""
+    from repro.core.types import Request
+    from repro.workload.trace import Trace
+
+    requests = [
+        Request(
+            request_id=i,
+            arrival_time=t,
+            input_length=128,
+            output_length=16,
+            workload="conversation",
+        )
+        for i, t in enumerate(times)
+    ]
+    return Trace(requests=requests, name="boundary")
+
+
+@pytest.mark.parametrize("num_events", [1, 2])
+def test_request_at_failure_time_served_exactly_once(num_events):
+    """A request arriving exactly at ``FailureEvent.time`` is served once.
+
+    ``Trace.window`` is half-open ``[start, end)``: the pre-failure window
+    excludes the boundary arrival and the post-failure window includes it.
+    With two *coincident* failure events the middle window is empty and the
+    request must still be served exactly once, after both events.
+    """
+    cluster, model, plan = _tiny_serving_context()
+    boundary = 6.0
+    trace = _boundary_trace([1.0, boundary - 0.5, boundary, boundary + 0.5, 10.0])
+    system = ThunderServe(cluster, model, CONVERSATION_WORKLOAD, request_rate=1.0)
+    system.adopt_plan(plan)
+    # ``gpu_ids=()`` keeps the windowing machinery (and any rescheduling hooks)
+    # exercised without actually killing GPUs, so the serve stays deterministic.
+    events = [FailureEvent(time=boundary, gpu_ids=()) for _ in range(num_events)]
+    sweep = ScenarioSweep([get_scenario("diurnal", duration=SMOKE_DURATION)], seed=0)
+    result = sweep._serve_with_failures(system, trace, events, label="boundary")
+    assert result.num_requests == len(trace)
+    served_ids = sorted(m.request.request_id for m in result.metrics)
+    assert served_ids == [0, 1, 2, 3, 4], "every request served exactly once"
+    boundary_metrics = [m for m in result.metrics if m.request.arrival_time == boundary]
+    assert len(boundary_metrics) == 1
+    # The boundary request belongs to the *post*-failure window: it cannot have
+    # started prefill before the failure instant.
+    assert boundary_metrics[0].enqueue_time >= boundary

@@ -256,6 +256,27 @@ class TestLowerLevelSolver:
         decode_group = result.plan.decode_groups[0]
         assert decode_group.plan == fixed[a40]
 
+    def test_overcapacity_demand_scores_near_zero(self, small_hetero_cluster_mod, model_30b_mod, conversation_mod):
+        """Demand beyond fleet prefill capacity must not be flattered.
+
+        The old ``min(0.95, ...)`` clamp in ``_operating_points`` (plus the
+        LP's capacity-clipped routed mass) made an overloaded fleet look like a
+        95%-utilised one, scoring ~0.9 attainment.  With the clamp gone and the
+        routed shares normalised to the full offered rate, the implied
+        ``rho >= 1`` reaches the estimator and the plan scores near zero.
+        """
+        cluster, model, workload = small_hetero_cluster_mod, model_30b_mod, conversation_mod
+        a40 = [g.gpu_id for g in cluster.gpus_of_type("A40")]
+        ti = [g.gpu_id for g in cluster.gpus_of_type("3090Ti")]
+        solution = UpperLevelSolution.from_lists([(a40, Phase.PREFILL), (ti, Phase.DECODE)])
+        result = self._solver(cluster, model, workload, rate=50.0).solve(solution)
+        assert result.feasible, "the plan is structurally valid, just overloaded"
+        assert result.estimated_attainment <= 0.01, (
+            f"overloaded plan scored {result.estimated_attainment:.3f}"
+        )
+        # Only the (bounded) served-capacity bonus may remain in the objective.
+        assert result.objective <= 0.05 + 1e-9
+
     def test_lp_orchestration_at_least_as_good_as_random(self, small_hetero_cluster_mod, model_30b_mod, conversation_mod):
         cluster, model, workload = small_hetero_cluster_mod, model_30b_mod, conversation_mod
         a40 = [g.gpu_id for g in cluster.gpus_of_type("A40")]
