@@ -77,12 +77,14 @@ class DiurnalTrafficScenario(Scenario):
         return trough + swing * (1.0 - math.cos(2.0 * math.pi * t / self.duration)) / 2.0
 
     def build_trace(self, seed: RNGLike = None) -> Trace:
+        """Sample the day/night cycle as a thinned Poisson process."""
         return thinned_poisson_trace(
             self.workload, self.rate_at, self.request_rate, self.duration,
             seed=seed, name=self.name,
         )
 
     def planning_workload(self) -> WorkloadSpec:
+        """The workload the scheduler plans for (the cycle's single spec)."""
         return self.workload
 
 
@@ -121,12 +123,14 @@ class BurstySpikesScenario(Scenario):
         return self.request_rate * (self.burst_multiplier if in_burst else 1.0)
 
     def build_trace(self, seed: RNGLike = None) -> Trace:
+        """Sample baseline-plus-spikes arrivals as a thinned Poisson process."""
         return thinned_poisson_trace(
             self.workload, self.rate_at, self.request_rate * self.burst_multiplier,
             self.duration, seed=seed, name=self.name,
         )
 
     def planning_workload(self) -> WorkloadSpec:
+        """The workload the scheduler plans for (spikes share the base spec)."""
         return self.workload
 
 
@@ -142,11 +146,13 @@ class LongContextRAGScenario(Scenario):
     workload: WorkloadSpec = RAG_WORKLOAD
 
     def build_trace(self, seed: RNGLike = None) -> Trace:
+        """Sample steady Poisson arrivals of the RAG workload."""
         gen = PoissonArrivalGenerator(self.workload, self.request_rate, seed=seed)
         trace = gen.generate(duration=self.duration)
         return Trace(requests=trace.requests, name=self.name)
 
     def planning_workload(self) -> WorkloadSpec:
+        """The workload the scheduler plans for (the RAG spec itself)."""
         return self.workload
 
 
@@ -182,11 +188,13 @@ class LongPromptRAGScenario(Scenario):
     workload: WorkloadSpec = LONG_PROMPT_RAG_WORKLOAD
 
     def build_trace(self, seed: RNGLike = None) -> Trace:
+        """Sample steady Poisson arrivals of the long-prompt lookup workload."""
         gen = PoissonArrivalGenerator(self.workload, self.request_rate, seed=seed)
         trace = gen.generate(duration=self.duration)
         return Trace(requests=trace.requests, name=self.name)
 
     def planning_workload(self) -> WorkloadSpec:
+        """The workload the scheduler plans for (the lookup spec itself)."""
         return self.workload
 
 
@@ -211,6 +219,7 @@ class AgenticCodingMixScenario(Scenario):
             raise ValueError("coding_fraction must be in (0, 1)")
 
     def build_trace(self, seed: RNGLike = None) -> Trace:
+        """Merge independent Poisson streams of coding and conversation turns."""
         rng = ensure_rng(seed)
         coding_rng, conv_rng = spawn_rng(rng, 2)
         coding = PoissonArrivalGenerator(
@@ -295,6 +304,7 @@ class MultiTenantSLOTiersScenario(Scenario):
         return {t.tenant: t.slo_scale for t in self.tiers}
 
     def build_trace(self, seed: RNGLike = None) -> Trace:
+        """Merge one tagged Poisson stream per tenant tier."""
         rng = ensure_rng(seed)
         rngs = spawn_rng(rng, len(self.tiers))
         traces = []
@@ -315,6 +325,7 @@ class MultiTenantSLOTiersScenario(Scenario):
         )
 
     def slo_scale(self) -> float:
+        """The tightest tier's scale — the contract hardest to keep."""
         return min(t.slo_scale for t in self.tiers)
 
 
@@ -345,14 +356,17 @@ class SpotPreemptionScenario(Scenario):
                 raise ValueError("preemption fractions must be in (0, 1)")
 
     def build_trace(self, seed: RNGLike = None) -> Trace:
+        """Sample steady Poisson arrivals (the disruption is the preemptions)."""
         gen = PoissonArrivalGenerator(self.workload, self.request_rate, seed=seed)
         trace = gen.generate(duration=self.duration)
         return Trace(requests=trace.requests, name=self.name)
 
     def planning_workload(self) -> WorkloadSpec:
+        """The workload the scheduler plans for (traffic itself is steady)."""
         return self.workload
 
     def failure_schedule(self) -> Tuple[FailureEvent, ...]:
+        """One :class:`FailureEvent` per preemption fraction, in time order."""
         return tuple(
             FailureEvent(
                 time=f * self.duration,

@@ -34,6 +34,7 @@ from repro.scenarios.registry import default_scenarios
 from repro.scheduling.deployment import DeploymentPlan
 from repro.scheduling.robust import scenario_slo
 from repro.scheduling.scheduler import SchedulerConfig
+from repro.serving.live import LiveServeConfig, LiveServer, WindowTelemetry
 from repro.serving.system import ThunderServe
 from repro.simulation.engine import SimulatorConfig
 from repro.simulation.metrics import SimulationResult, merge_results
@@ -63,6 +64,11 @@ class ScenarioOutcome:
     result: Optional[SimulationResult] = None
     #: serving failure captured under ``on_error="zero"`` (None on success)
     error: Optional[str] = None
+    #: per-window telemetry stream (adaptive sweeps only; empty otherwise).
+    #: Workload-shift scenarios surface their per-window plan changes here:
+    #: each record carries the ``plan_id`` the window was served with and
+    #: whether a new plan was installed after it.
+    windows: List[WindowTelemetry] = field(default_factory=list)
 
 
 class ScenarioSweep:
@@ -93,6 +99,18 @@ class ScenarioSweep:
         is infeasible after a preemption — has operationally failed it, which
         is signal, not an abort-worthy exception.  Non-scheduling exceptions
         (worker crashes, pickling problems) propagate under both policies.
+    adaptive:
+        When ``True``, scenarios without a failure schedule are served through
+        the live adaptive loop (:class:`~repro.serving.live.LiveServer`)
+        instead of one batch ``serve()`` call: SLO breaches and workload
+        shifts trigger lightweight rescheduling between windows, and each
+        outcome's ``windows`` field carries the per-window telemetry stream
+        (plan id, attainment, estimated rho, breaches).  Failure-injection
+        scenarios keep their event-driven windowed path.
+    live_config:
+        :class:`~repro.serving.live.LiveServeConfig` for adaptive serving
+        (window length, SLO-objective config, admission ceiling); defaults to
+        ``LiveServeConfig()``.  Ignored unless ``adaptive`` is true.
     """
 
     EXECUTORS = ("thread", "process")
@@ -108,6 +126,8 @@ class ScenarioSweep:
         simulator_config: Optional[SimulatorConfig] = None,
         params: CostModelParams = DEFAULT_PARAMS,
         on_error: str = "raise",
+        adaptive: bool = False,
+        live_config: Optional[LiveServeConfig] = None,
     ) -> None:
         self.scenarios: Tuple[Scenario, ...] = (
             tuple(scenarios) if scenarios is not None else default_scenarios()
@@ -128,6 +148,8 @@ class ScenarioSweep:
         self.scheduler_config = scheduler_config
         self.simulator_config = simulator_config
         self.params = params
+        self.adaptive = adaptive
+        self.live_config = live_config
 
     # ------------------------------------------------------------------ seeds
     def _derive_seed(self, text: str, salt: str) -> int:
@@ -223,10 +245,16 @@ class ScenarioSweep:
         installs_at_adoption = sum(1 for e in system.events if e.kind == "plan_installed")
 
         events = sorted(scenario.failure_schedule(), key=lambda e: e.time)
-        if not events:
-            result = system.serve(trace, label=scenario.name)
-        else:
+        windows: List[WindowTelemetry] = []
+        if events:
             result = self._serve_with_failures(system, trace, events, scenario.name)
+        elif self.adaptive:
+            live = LiveServer(system, config=self.live_config)
+            live_report = live.run(trace, label=scenario.name)
+            result = live_report.merged
+            windows = live_report.windows
+        else:
+            result = system.serve(trace, label=scenario.name)
 
         slo = system.reference.slo_spec(scenario.slo_scale())
         per_tenant: Dict[str, float] = {}
@@ -249,6 +277,7 @@ class ScenarioSweep:
             elapsed_s=time.perf_counter() - start,
             per_tenant_attainment=per_tenant,
             result=result,
+            windows=windows,
         )
 
     def _serve_with_failures(
@@ -298,21 +327,34 @@ class ScenarioSweep:
 
     # ------------------------------------------------------------------ reporting
     @staticmethod
-    def summarize(outcomes: Dict[str, ScenarioOutcome]) -> Dict[str, float | str]:
-        """Cross-scenario aggregate of a sweep: worst-case and mean E2E attainment.
+    def summarize(outcomes: Dict[str, ScenarioOutcome]) -> Dict[str, object]:
+        """Cross-scenario aggregate of a sweep.
 
         This is the served-side counterpart of the robust objective — the
         ``robust_vs_static`` experiment reports both so the estimator-optimised
         worst case can be checked against the simulated one.
+
+        Returns
+        -------
+        dict
+            ``worst_scenario`` (name of the lowest-E2E-attainment scenario),
+            ``worst_attainment`` / ``mean_attainment`` (its and the mean E2E
+            attainment), ``plan_changes`` (per-scenario mapping of the
+            mid-serve plan-change counter — installs after plan adoption,
+            i.e. every lightweight rescheduling the scenario triggered) and
+            ``total_plan_changes`` (their sum across the sweep).
         """
         if not outcomes:
             raise ValueError("cannot summarize an empty sweep")
         worst = min(outcomes, key=lambda name: outcomes[name].attainment_e2e)
         values = [o.attainment_e2e for o in outcomes.values()]
+        plan_changes = {name: o.num_plan_changes for name, o in sorted(outcomes.items())}
         return {
             "worst_scenario": worst,
             "worst_attainment": outcomes[worst].attainment_e2e,
             "mean_attainment": sum(values) / len(values),
+            "plan_changes": plan_changes,
+            "total_plan_changes": sum(plan_changes.values()),
         }
 
     @staticmethod

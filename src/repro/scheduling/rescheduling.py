@@ -33,7 +33,7 @@ from repro.scheduling.lower_level import LowerLevelResult, LowerLevelSolver
 from repro.scheduling.neighbors import construct_neighbors
 from repro.scheduling.solution import UpperLevelSolution
 from repro.scheduling.tabu import SearchTrace, TabuSearch, TabuSearchConfig
-from repro.workload.spec import WorkloadSpec
+from repro.workload.spec import WorkloadSpec, WorkloadStats
 
 
 @dataclass
@@ -138,6 +138,46 @@ class LightweightRescheduler:
             trace=result.trace,
             lower_result=lower,
             elapsed_s=elapsed,
+        )
+
+    def reschedule_from_stats(
+        self,
+        plan: DeploymentPlan,
+        cluster: Cluster,
+        model: ModelConfig,
+        stats: WorkloadStats,
+        fallback_rate: float,
+        slo: SLOSpec,
+        seed: RNGLike = None,
+        template: Optional[WorkloadSpec] = None,
+    ) -> RescheduleResult:
+        """Adapt a plan to *observed* workload statistics (the online entry point).
+
+        This is the path the live serving loop takes on an SLO breach or a
+        detected workload shift: the profiler's window statistics are converted
+        to a :class:`~repro.workload.spec.WorkloadSpec` via
+        :meth:`WorkloadStats.as_spec` — with ``template`` (typically the
+        planning workload) supplying realistic length variance, without it a
+        degenerate zero-variance spec — and the flip-only rescheduling of
+        :meth:`reschedule` runs against it.  When the window was too short to
+        measure an arrival rate (``stats.request_rate == 0``) the planned
+        ``fallback_rate`` is used instead.
+
+        Because the search warm-starts from the plan's current phase
+        designation (and the initial solution is always evaluated), the
+        returned plan's estimated objective under the observed workload can
+        only match or beat keeping the current phases — an online rescheduling
+        never looks worse than standing still *to the estimator*.
+        """
+        rate = stats.request_rate if stats.request_rate > 0 else fallback_rate
+        return self.reschedule(
+            plan,
+            cluster,
+            model,
+            stats.as_spec(name="observed", template=template),
+            rate,
+            slo,
+            seed=seed,
         )
 
 

@@ -2,19 +2,56 @@
 
 This package is the control plane of the reproduction: the request coordinator
 (dispatching requests according to the scheduler's routing policy), the heartbeat
-monitor (detecting GPU failures), and the :class:`ThunderServe` facade that ties
+monitor (detecting GPU failures), the :class:`ThunderServe` facade that ties
 scheduling, serving (simulated execution), workload profiling and lightweight
-rescheduling together — the overall routine described in §4 and Appendix E.
+rescheduling together — the overall routine described in §4 and Appendix E — and
+the live adaptive serving layer: declarative SLO objectives
+(:mod:`repro.serving.slo_objectives`), edge-triggered breach tracking
+(:class:`SLOBreachTracker`) and the windowed :class:`LiveServer` loop with
+streaming per-window telemetry (:mod:`repro.serving.live`).
 """
 
 from repro.serving.coordinator import RequestCoordinator
-from repro.serving.monitor import HeartbeatMonitor, GPUFailure
-from repro.serving.system import ThunderServe, ServeEvent
+from repro.serving.live import (
+    LiveServeConfig,
+    LiveServeReport,
+    LiveServer,
+    PlanHealth,
+    WindowTelemetry,
+    plan_signature,
+)
+from repro.serving.monitor import GPUFailure, HeartbeatMonitor, SLOBreachTracker
+from repro.serving.slo_objectives import (
+    BreachEvent,
+    ObjectiveOutcome,
+    SLOObjective,
+    SLOReport,
+    auto_slo_config,
+    evaluate_slo_objectives,
+    infer_slo_profile,
+    resolve_slo_objectives,
+)
+from repro.serving.system import ServeEvent, ThunderServe
 
 __all__ = [
     "RequestCoordinator",
     "HeartbeatMonitor",
     "GPUFailure",
+    "SLOBreachTracker",
     "ThunderServe",
     "ServeEvent",
+    "LiveServer",
+    "LiveServeConfig",
+    "LiveServeReport",
+    "WindowTelemetry",
+    "PlanHealth",
+    "plan_signature",
+    "SLOObjective",
+    "ObjectiveOutcome",
+    "SLOReport",
+    "BreachEvent",
+    "auto_slo_config",
+    "evaluate_slo_objectives",
+    "infer_slo_profile",
+    "resolve_slo_objectives",
 ]

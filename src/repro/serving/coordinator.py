@@ -53,6 +53,12 @@ class RequestCoordinator:
         self._dispatched = 0
         self._records: Dict[int, DispatchRecord] = {}
         self._outstanding: Dict[int, int] = {gid: 0 for gid in routing.prefill_group_ids}
+        # Per-workload-tag accounting: dispatched and shed request counts keyed
+        # by ``Request.workload`` (e.g. ``"tenant:gold"``), feeding the live
+        # loop's per-tenant telemetry and admission bookkeeping.
+        self._dispatched_by_tag: Dict[str, int] = {}
+        self._shed = 0
+        self._shed_by_tag: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ dispatch
     def assign(self, request: Request) -> Tuple[int, int]:
@@ -78,7 +84,19 @@ class RequestCoordinator:
         self._records[request.request_id] = record
         self._outstanding[prefill_id] += 1
         self._dispatched += 1
+        tag = request.workload or ""
+        self._dispatched_by_tag[tag] = self._dispatched_by_tag.get(tag, 0) + 1
         return prefill_id, decode_id
+
+    def record_shed(self, request: Request) -> None:
+        """Account for a request the admission front-end refused to dispatch.
+
+        Shed requests never reach a replica; they are tracked separately so
+        telemetry can report the admitted vs. refused mix per workload tag.
+        """
+        self._shed += 1
+        tag = request.workload or ""
+        self._shed_by_tag[tag] = self._shed_by_tag.get(tag, 0) + 1
 
     def complete(self, request_id: int) -> None:
         """Mark a request finished (releases its outstanding-work accounting)."""
@@ -92,6 +110,21 @@ class RequestCoordinator:
     def num_dispatched(self) -> int:
         """Total number of requests dispatched so far."""
         return self._dispatched
+
+    @property
+    def num_shed(self) -> int:
+        """Total number of requests refused by the admission front-end."""
+        return self._shed
+
+    @property
+    def dispatched_by_tag(self) -> Dict[str, int]:
+        """Dispatched request counts keyed by ``Request.workload`` tag."""
+        return dict(self._dispatched_by_tag)
+
+    @property
+    def shed_by_tag(self) -> Dict[str, int]:
+        """Shed request counts keyed by ``Request.workload`` tag."""
+        return dict(self._shed_by_tag)
 
     def outstanding(self, prefill_group_id: int) -> int:
         """Outstanding (dispatched, not completed) requests of one prefill replica."""

@@ -1,0 +1,613 @@
+"""Live adaptive serving: a time-warped windowed loop with SLO observability.
+
+This module promotes :class:`~repro.serving.system.ThunderServe` from batch
+simulation to a long-running service.  :class:`LiveServer` replays a request
+trace against the fast engine in bounded windows on a *time-warped* serving
+clock (the loop advances the clock window by window instead of sleeping, so a
+two-hour trace replays in seconds while keeping wall-clock semantics), and per
+window it
+
+1. estimates the health of the installed plan for the window's observed
+   request mix with the M/G/1 :class:`~repro.scheduling.estimator.SLOEstimator`
+   (per-replica utilisation ``rho`` and routed attainment);
+2. optionally sheds load at admission when the estimator reports the plan
+   would run beyond a configured utilisation ceiling;
+3. serves the admitted window through the engine and measures a telemetry
+   snapshot (:class:`WindowTelemetry` — attainment, queue wait, per-tenant
+   breakdown, plan id);
+4. resolves the declarative SLO-objective config to a profile
+   (realtime/degraded, see :mod:`repro.serving.slo_objectives`), evaluates the
+   objectives, and emits edge-triggered breach events; and
+5. on a breach — or a profiler-detected workload shift — triggers the §3.4
+   lightweight rescheduler online, so the next window is served by a plan
+   re-designated for the observed workload.
+
+Plan changes only happen *between* windows, which makes the loop auditable:
+replaying each window's sub-trace against its recorded plan in independent
+batch simulations reproduces the live run's metrics exactly (the
+piecewise-static equivalence contract, enforced by the test suite).
+
+For integration into an asyncio application, :meth:`LiveServer.stream` wraps
+the same loop as an async generator and can optionally pace windows in scaled
+wall-clock time.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.core.types import SLOType
+from repro.scheduling.deployment import DeploymentPlan, RoutingPolicy
+from repro.scheduling.estimator import SLOEstimator
+from repro.serving.monitor import SLOBreachTracker
+from repro.serving.slo_objectives import (
+    BreachEvent,
+    auto_slo_config,
+    evaluate_slo_objectives,
+    resolve_slo_objectives,
+)
+from repro.serving.system import ThunderServe
+from repro.simulation.metrics import SimulationResult, merge_results
+from repro.workload.trace import Trace
+
+
+def plan_signature(plan: DeploymentPlan) -> str:
+    """Stable short identifier of a deployment plan's structure.
+
+    Hashes the group construction (GPU sets, phases, stage layouts) and the
+    routing weights (rounded to 1e-6), so two plans that serve identically get
+    the same id and any rescheduling that changed phases *or* routing gets a
+    new one.  Used as the ``plan_id`` surfaced in windowed telemetry.
+    """
+    parts: List[object] = []
+    for group in sorted(plan.groups, key=lambda g: g.group_id):
+        stages: Tuple = ()
+        if group.plan is not None:
+            stages = tuple(
+                (tuple(st.gpu_ids), st.num_layers, st.tp) for st in group.plan.stages
+            )
+        parts.append((group.group_id, tuple(group.gpu_ids), group.phase.value, stages))
+    if plan.routing is not None:
+        parts.append(tuple(round(float(v), 6) for v in plan.routing.prefill_weights))
+        parts.append(
+            tuple(tuple(round(float(v), 6) for v in row) for row in plan.routing.dispatch)
+        )
+    return f"{zlib.crc32(repr(parts).encode()) & 0xFFFFFFFF:08x}"
+
+
+@dataclass(frozen=True)
+class PlanHealth:
+    """Estimator view of how the installed plan handles an observed window."""
+
+    #: highest per-prefill-replica utilisation implied by the routing
+    rho: float
+    #: routed estimated E2E attainment (``sum_ij z_ij * D_ij``)
+    attainment: float
+    #: arrival rate (requests/s) the estimate was computed for
+    request_rate: float
+
+
+@dataclass
+class WindowTelemetry:
+    """Telemetry snapshot of one served window of the live loop."""
+
+    #: index of the window within the run (served windows only)
+    index: int
+    #: window start / end on the serving clock (seconds)
+    start: float
+    end: float
+    #: structural id of the plan the window was served with
+    plan_id: str
+    #: SLO profile the window was judged under (``realtime`` / ``degraded`` / ...)
+    profile: str
+    #: requests that arrived / were shed at admission / finished in the window
+    num_requests: int
+    num_shed: int
+    num_finished: int
+    #: observed arrival rate over the window (requests/s)
+    request_rate: float
+    #: served SLO attainment at the system deadline, per SLO type
+    attainment_e2e: float
+    attainment_ttft: float
+    attainment_tpot: float
+    #: mean simulated queue wait of finished requests (0 when none finished)
+    mean_queue_wait: float
+    #: fraction of admitted requests that finished within the window horizon
+    completion_rate: float
+    #: estimator utilisation / attainment of the plan for the observed mix
+    estimated_rho: float
+    estimated_attainment: float
+    #: whether a new plan was installed at the end of this window
+    plan_changed: bool = False
+    #: breach events emitted by this window's SLO evaluation
+    breaches: Tuple[BreachEvent, ...] = ()
+    #: per-tenant E2E attainment for ``"tenant:*"``-tagged requests
+    per_tenant_attainment: Dict[str, float] = field(default_factory=dict)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Return the metric mapping SLO objectives are evaluated against."""
+        total = self.num_requests + self.num_shed
+        return {
+            "attainment_e2e": self.attainment_e2e,
+            "attainment_ttft": self.attainment_ttft,
+            "attainment_tpot": self.attainment_tpot,
+            "mean_queue_wait": self.mean_queue_wait,
+            "completion_rate": self.completion_rate,
+            "estimated_rho": self.estimated_rho,
+            "estimated_attainment": self.estimated_attainment,
+            "request_rate": self.request_rate,
+            "num_requests": float(self.num_requests),
+            "shed_fraction": self.num_shed / total if total else 0.0,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return the JSON-serialisable dict form of the record."""
+        return {
+            "index": self.index,
+            "start": self.start,
+            "end": self.end,
+            "plan_id": self.plan_id,
+            "profile": self.profile,
+            "num_requests": self.num_requests,
+            "num_shed": self.num_shed,
+            "num_finished": self.num_finished,
+            "request_rate": self.request_rate,
+            "attainment_e2e": self.attainment_e2e,
+            "attainment_ttft": self.attainment_ttft,
+            "attainment_tpot": self.attainment_tpot,
+            "mean_queue_wait": self.mean_queue_wait,
+            "completion_rate": self.completion_rate,
+            "estimated_rho": self.estimated_rho,
+            "estimated_attainment": self.estimated_attainment,
+            "plan_changed": self.plan_changed,
+            "breaches": [b.to_dict() for b in self.breaches],
+            "per_tenant_attainment": dict(self.per_tenant_attainment),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "WindowTelemetry":
+        """Rebuild a record from its dict form (inverse of :meth:`to_dict`)."""
+        return cls(
+            index=int(data["index"]),  # type: ignore[arg-type]
+            start=float(data["start"]),  # type: ignore[arg-type]
+            end=float(data["end"]),  # type: ignore[arg-type]
+            plan_id=str(data["plan_id"]),
+            profile=str(data["profile"]),
+            num_requests=int(data["num_requests"]),  # type: ignore[arg-type]
+            num_shed=int(data["num_shed"]),  # type: ignore[arg-type]
+            num_finished=int(data["num_finished"]),  # type: ignore[arg-type]
+            request_rate=float(data["request_rate"]),  # type: ignore[arg-type]
+            attainment_e2e=float(data["attainment_e2e"]),  # type: ignore[arg-type]
+            attainment_ttft=float(data["attainment_ttft"]),  # type: ignore[arg-type]
+            attainment_tpot=float(data["attainment_tpot"]),  # type: ignore[arg-type]
+            mean_queue_wait=float(data["mean_queue_wait"]),  # type: ignore[arg-type]
+            completion_rate=float(data["completion_rate"]),  # type: ignore[arg-type]
+            estimated_rho=float(data["estimated_rho"]),  # type: ignore[arg-type]
+            estimated_attainment=float(data["estimated_attainment"]),  # type: ignore[arg-type]
+            plan_changed=bool(data["plan_changed"]),
+            breaches=tuple(
+                BreachEvent.from_dict(b) for b in data.get("breaches", ())  # type: ignore[union-attr]
+            ),
+            per_tenant_attainment=dict(data.get("per_tenant_attainment", {})),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class LiveServeConfig:
+    """Configuration of the live serving loop.
+
+    Parameters
+    ----------
+    window_s:
+        Serving window length on the time-warped clock (seconds of trace time).
+    slo_config:
+        Declarative SLO-objective config (flat or profile form, see
+        :mod:`repro.serving.slo_objectives`); defaults to
+        :func:`~repro.serving.slo_objectives.auto_slo_config`.
+    admission_max_rho:
+        Utilisation ceiling for the admission front-end: when the estimator
+        reports a window would run the hottest prefill replica beyond this,
+        excess arrivals are shed deterministically to bring it back under.
+        ``None`` (default) disables shedding — every request is admitted.
+    reschedule_on_breach:
+        Trigger the §3.4 lightweight rescheduler when a window emits breach
+        events.
+    reschedule_on_shift:
+        Fall back to the workload profiler's shift detector in windows without
+        breaches (the original ``serve_adaptive`` trigger).
+    validate_reschedule:
+        Shadow-validate every rescheduling candidate by replaying the window
+        just served under it: the candidate is adopted only when it strictly
+        beats the incumbent plan's simulated attainment on that window (see
+        :meth:`~repro.serving.system.ThunderServe.reschedule_online`).  On by
+        default — the estimator can mis-rank flip candidates near saturation,
+        and an online loop must never adopt a plan that demonstrably serves
+        the observed workload worse.
+
+    Raises
+    ------
+    ValueError
+        If ``window_s`` is not positive or ``admission_max_rho`` is not in
+        ``(0, 1]``.
+    """
+
+    window_s: float = 30.0
+    slo_config: Optional[Mapping[str, object]] = None
+    admission_max_rho: Optional[float] = None
+    reschedule_on_breach: bool = True
+    reschedule_on_shift: bool = True
+    validate_reschedule: bool = True
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if self.admission_max_rho is not None and not 0 < self.admission_max_rho <= 1:
+            raise ValueError("admission_max_rho must be in (0, 1]")
+
+
+@dataclass
+class LiveServeReport:
+    """Everything a live run produced: telemetry, results and breach events."""
+
+    #: per-window telemetry records, in serving order
+    windows: List[WindowTelemetry]
+    #: per-window simulation results (parallel to ``windows``)
+    results: List[SimulationResult]
+    #: the plan each window was served with (parallel to ``windows``)
+    served_plans: List[DeploymentPlan]
+    #: all breach events emitted across the run, in firing order
+    breaches: List[BreachEvent]
+    #: label of the run
+    label: str = "live"
+
+    @property
+    def num_plan_changes(self) -> int:
+        """Number of windows after which a new plan was installed."""
+        return sum(1 for w in self.windows if w.plan_changed)
+
+    @property
+    def plan_ids(self) -> List[str]:
+        """Plan id of every served window, in order."""
+        return [w.plan_id for w in self.windows]
+
+    @property
+    def merged(self) -> SimulationResult:
+        """All window results merged into one trace-level result."""
+        return merge_results(self.results, label=self.label)
+
+    def worst_window_attainment(self) -> float:
+        """Lowest windowed E2E attainment of the run (1.0 for an empty run)."""
+        if not self.windows:
+            return 1.0
+        return min(w.attainment_e2e for w in self.windows)
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """Return the windowed telemetry stream as JSON-serialisable dicts."""
+        return [w.to_dict() for w in self.windows]
+
+
+class LiveServer:
+    """Windowed adaptive serving loop over a :class:`ThunderServe` system.
+
+    Parameters
+    ----------
+    system:
+        A deployed serving system (``deploy()`` / ``adopt_plan()`` must have
+        installed a plan before :meth:`run`).
+    config:
+        Loop configuration; defaults to :class:`LiveServeConfig`.
+    on_window:
+        Optional callback invoked with each :class:`WindowTelemetry` as it is
+        measured (the streaming telemetry hook).
+    on_breach:
+        Optional callback invoked with each :class:`BreachEvent` as it fires.
+    """
+
+    def __init__(
+        self,
+        system: ThunderServe,
+        config: Optional[LiveServeConfig] = None,
+        on_window: Optional[Callable[[WindowTelemetry], None]] = None,
+        on_breach: Optional[Callable[[BreachEvent], None]] = None,
+    ) -> None:
+        self.system = system
+        self.config = config or LiveServeConfig()
+        self.on_window = on_window
+        self.on_breach = on_breach
+        self.tracker = SLOBreachTracker()
+
+    # ------------------------------------------------------------------ estimation
+    def _routing(self, plan: DeploymentPlan) -> RoutingPolicy:
+        """Return the plan's routing policy (uniform when the plan has none)."""
+        if plan.routing is not None:
+            return plan.routing
+        return RoutingPolicy.uniform(
+            [g.group_id for g in plan.prefill_groups],
+            [g.group_id for g in plan.decode_groups],
+        )
+
+    def plan_health(self, window: Trace) -> PlanHealth:
+        """Estimate the installed plan's health for one window's observed mix.
+
+        Builds an M/G/1 :class:`~repro.scheduling.estimator.SLOEstimator` for
+        the window's empirical workload (means and arrival rate) and prices the
+        plan's routing through it: per-prefill-replica utilisation follows the
+        routed share of the observed rate, decode operating batches follow the
+        routed token demand, and the routed attainment aggregates the pair
+        matrix exactly like the lower-level solver does.
+
+        Returns
+        -------
+        PlanHealth
+            ``rho`` (hottest prefill replica), routed E2E ``attainment`` and
+            the ``request_rate`` the figures were computed for.
+        """
+        system = self.system
+        plan = system.require_plan()
+        rate = window.request_rate or system.request_rate
+        from repro.workload.spec import WorkloadStats
+
+        stats = WorkloadStats(
+            mean_input_length=window.mean_input_length,
+            mean_output_length=window.mean_output_length,
+            request_rate=rate,
+            num_requests=len(window),
+        )
+        estimator = SLOEstimator(
+            system.cluster,
+            system.model,
+            stats.as_spec(name="live-window"),
+            system.slo,
+            rate,
+            kv_transport_bits=plan.kv_transport_bits,
+            params=system.params,
+            prefill_batch_requests=system.simulator_config.max_prefill_batch_requests,
+        )
+        routing = self._routing(plan)
+        prefills = [
+            estimator.replica_performance(plan.group(gid))
+            for gid in routing.prefill_group_ids
+        ]
+        decodes = [
+            estimator.replica_performance(plan.group(gid))
+            for gid in routing.decode_group_ids
+        ]
+        x = routing.x
+        z = routing.joint
+        utilizations = [
+            float(x[i]) * rate * p.prefill_service_s for i, p in enumerate(prefills)
+        ]
+        context = estimator.mean_input + estimator.mean_output
+        batches = [
+            q.decode_operating_batch(
+                float(z[:, j].sum()) * rate * estimator.mean_output, context
+            )
+            for j, q in enumerate(decodes)
+        ]
+        d = estimator.attainment_matrix(
+            prefills, decodes, prefill_utilizations=utilizations, decode_batches=batches
+        )
+        return PlanHealth(
+            rho=max(utilizations) if utilizations else 0.0,
+            attainment=float((z * d).sum()),
+            request_rate=rate,
+        )
+
+    def _admit(self, window: Trace, health: PlanHealth) -> Tuple[Trace, int]:
+        """Apply the admission front-end to one window.
+
+        When the estimated utilisation exceeds ``admission_max_rho``, requests
+        are shed with a deterministic deficit counter so the admitted fraction
+        tracks ``admission_max_rho / rho`` exactly (no sampling noise), and the
+        shed requests are recorded on the coordinator.  Returns the admitted
+        sub-trace and the number of shed requests.
+        """
+        max_rho = self.config.admission_max_rho
+        if max_rho is None or health.rho <= max_rho or health.rho <= 0:
+            return window, 0
+        keep_fraction = max_rho / health.rho
+        admitted = []
+        shed = 0
+        acc = 0.0
+        coordinator = self.system.coordinator
+        for request in window:
+            acc += keep_fraction
+            if acc >= 1.0:
+                acc -= 1.0
+                admitted.append(request)
+            else:
+                shed += 1
+                if coordinator is not None:
+                    coordinator.record_shed(request)
+        return Trace(requests=admitted, name=f"{window.name}-admitted"), shed
+
+    # ------------------------------------------------------------------ telemetry
+    def _measure(
+        self,
+        index: int,
+        start: float,
+        end: float,
+        result: SimulationResult,
+        health: PlanHealth,
+        num_shed: int,
+        served_plan_id: str,
+    ) -> WindowTelemetry:
+        """Build the telemetry record of one served window."""
+        slo = self.system.slo
+        finished = result.finished
+        queue_waits = [m.queue_time for m in finished]
+        per_tenant: Dict[str, float] = {}
+        tenant_metrics: Dict[str, List] = {}
+        for m in result.metrics:
+            tag = m.request.workload or ""
+            if tag.startswith("tenant:"):
+                tenant_metrics.setdefault(tag.split(":", 1)[1], []).append(m)
+        for tenant, metrics in sorted(tenant_metrics.items()):
+            hits = sum(1 for m in metrics if slo.is_met(m, SLOType.E2E))
+            per_tenant[tenant] = hits / len(metrics)
+        return WindowTelemetry(
+            index=index,
+            start=start,
+            end=end,
+            plan_id=served_plan_id,
+            profile="",  # resolved by the caller against the SLO config
+            num_requests=result.num_requests,
+            num_shed=num_shed,
+            num_finished=result.num_finished,
+            request_rate=result.num_requests / (end - start) if end > start else 0.0,
+            attainment_e2e=result.slo_attainment(slo, SLOType.E2E),
+            attainment_ttft=result.slo_attainment(slo, SLOType.TTFT),
+            attainment_tpot=result.slo_attainment(slo, SLOType.TPOT),
+            mean_queue_wait=float(np.mean(queue_waits)) if queue_waits else 0.0,
+            completion_rate=result.completion_rate,
+            estimated_rho=health.rho,
+            estimated_attainment=health.attainment,
+            per_tenant_attainment=per_tenant,
+        )
+
+    # ------------------------------------------------------------------ loop
+    def _serve_windows(
+        self, trace: Trace, label: str
+    ) -> Iterator[Tuple[WindowTelemetry, SimulationResult, DeploymentPlan]]:
+        """Serve ``trace`` window by window, yielding telemetry as it is measured."""
+        system = self.system
+        config = self.config
+        slo_config = config.slo_config or auto_slo_config()
+        system.require_plan()
+        if trace.is_empty:
+            return
+        start = trace[0].arrival_time
+        end = trace[-1].arrival_time
+        window_start = start
+        index = 0
+        while window_start <= end:
+            window_end = window_start + config.window_s
+            window = trace.window(window_start, window_end)
+            window_start = window_end
+            if window.is_empty:
+                continue
+            served_plan = system.require_plan()
+            served_plan_id = plan_signature(served_plan)
+            health = self.plan_health(window)
+            admitted, num_shed = self._admit(window, health)
+            result = system.serve(admitted, label=f"{label}[{index}]")
+            system.monitor.heartbeat_all(window_end)
+            telemetry = self._measure(
+                index, window_end - config.window_s, window_end, result, health,
+                num_shed, served_plan_id,
+            )
+            profile, objectives = resolve_slo_objectives(slo_config, telemetry.snapshot())
+            telemetry.profile = profile
+            report = evaluate_slo_objectives(telemetry.snapshot(), objectives, profile=profile)
+            events = self.tracker.update(
+                report, time=window_end, window_index=index, context=label
+            )
+            telemetry.breaches = tuple(events)
+            for event in events:
+                if self.on_breach is not None:
+                    self.on_breach(event)
+            telemetry.plan_changed = self._adapt(events, admitted, label)
+            if self.on_window is not None:
+                self.on_window(telemetry)
+            yield telemetry, result, served_plan
+            index += 1
+
+    def _adapt(self, events: List[BreachEvent], window: Trace, label: str) -> bool:
+        """Run the online rescheduling policy after one window; return whether the plan changed."""
+        system = self.system
+        config = self.config
+        validate_on = window if config.validate_reschedule else None
+        if events and config.reschedule_on_breach:
+            names = ",".join(e.objective for e in events)
+            return system.reschedule_online(
+                reason=f"slo breach ({names}) during {label}", validate_on=validate_on
+            )
+        if config.reschedule_on_shift:
+            shift = system.profiler.detect_shift()
+            if shift is not None:
+                return system.reschedule_online(
+                    stats=shift.current,
+                    reason=f"lightweight rescheduling ({shift.describe()})",
+                    validate_on=validate_on,
+                )
+        return False
+
+    def run(self, trace: Trace, label: str = "live") -> LiveServeReport:
+        """Serve a whole trace adaptively and return the run report.
+
+        Parameters
+        ----------
+        trace:
+            The request trace to replay on the time-warped serving clock.
+        label:
+            Run label stamped onto window results and breach events.
+
+        Returns
+        -------
+        LiveServeReport
+            Windowed telemetry, per-window simulation results, the plan each
+            window was served with, and every breach event fired.
+        """
+        windows: List[WindowTelemetry] = []
+        results: List[SimulationResult] = []
+        plans: List[DeploymentPlan] = []
+        breaches: List[BreachEvent] = []
+        for telemetry, result, plan in self._serve_windows(trace, label):
+            windows.append(telemetry)
+            results.append(result)
+            plans.append(plan)
+            breaches.extend(telemetry.breaches)
+        return LiveServeReport(
+            windows=windows,
+            results=results,
+            served_plans=plans,
+            breaches=breaches,
+            label=label,
+        )
+
+    async def stream(self, trace: Trace, label: str = "live", time_warp: float = 0.0):
+        """Serve a trace as an async generator of :class:`WindowTelemetry`.
+
+        Parameters
+        ----------
+        trace:
+            The request trace to replay.
+        label:
+            Run label stamped onto window results and breach events.
+        time_warp:
+            Real seconds to sleep per simulated window second.  ``0`` (default)
+            only yields control to the event loop between windows; ``1.0``
+            paces the replay in real time.
+
+        Yields
+        ------
+        WindowTelemetry
+            One record per served window, as soon as it is measured.
+        """
+        import asyncio
+
+        for telemetry, _result, _plan in self._serve_windows(trace, label):
+            yield telemetry
+            await asyncio.sleep(self.config.window_s * time_warp)
+
+
+__all__ = [
+    "LiveServer",
+    "LiveServeConfig",
+    "LiveServeReport",
+    "WindowTelemetry",
+    "PlanHealth",
+    "plan_signature",
+]

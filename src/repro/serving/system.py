@@ -15,7 +15,7 @@ routine:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.core.exceptions import SchedulingError
@@ -217,13 +217,116 @@ class ThunderServe:
         return results
 
     def _reschedule_for_workload(self, shift) -> None:
-        observed = shift.current.as_spec(name="observed")
-        rate = shift.current.request_rate or self.request_rate
-        result = self.rescheduler.reschedule(
-            self.require_plan(), self.cluster, self.model, observed, rate, self.slo
+        self.reschedule_online(
+            stats=shift.current, reason=f"lightweight rescheduling ({shift.describe()})"
         )
-        self._install_plan(result.plan, reason=f"lightweight rescheduling ({shift.describe()})")
-        self.profiler.set_reference(shift.current)
+
+    def reschedule_online(
+        self,
+        stats=None,
+        reason: str = "online rescheduling",
+        validate_on: Optional[Trace] = None,
+    ) -> bool:
+        """Run the §3.4 lightweight rescheduler against *observed* statistics.
+
+        This is the online entry point the live serving loop calls on an SLO
+        breach (and the path ``serve_adaptive`` takes on a detected workload
+        shift).  The profiler's current window statistics are used unless
+        ``stats`` is given explicitly; the resulting plan is installed and the
+        profiler's reference is re-pinned to the statistics the new plan was
+        built for.
+
+        The replanning rate is floored at the provisioned ``request_rate``:
+        observing a quiet window (a diurnal trough, a lull between bursts) must
+        not shrink the plan's capacity below what the deployment was sized for,
+        or the next peak lands on a plan tuned for the lull.  Observed rates
+        *above* the provisioned rate are taken at face value — that is the
+        upward shift the rescheduler exists for.
+
+        Parameters
+        ----------
+        stats:
+            :class:`~repro.workload.spec.WorkloadStats` to replan for; defaults
+            to ``self.profiler.current_stats()``.
+        reason:
+            Human-readable reason recorded on the ``plan_installed`` event.
+        validate_on:
+            Optional trace (typically the window just served) used as a shadow
+            canary: the candidate plan is only adopted when its simulated SLO
+            attainment on this trace strictly beats the incumbent plan's.  The
+            estimator that guides the flip-only search can mis-rank plans near
+            saturation; the shadow replay keeps a mis-ranked candidate from
+            ever being installed.  ``None`` (default) trusts the estimator.
+
+        Returns
+        -------
+        bool
+            ``True`` when a new plan was installed, ``False`` when the profiler
+            window was empty or the candidate failed shadow validation.
+        """
+        if stats is None:
+            stats = self.profiler.current_stats()
+        if stats.num_requests == 0 and stats.request_rate == 0:
+            return False
+        if 0 < stats.request_rate < self.request_rate:
+            stats = replace(stats, request_rate=self.request_rate)
+        result = self.rescheduler.reschedule_from_stats(
+            self.require_plan(),
+            self.cluster,
+            self.model,
+            stats,
+            fallback_rate=self.request_rate,
+            slo=self.slo,
+            template=self.workload,
+        )
+        if validate_on is not None and not validate_on.is_empty:
+            incumbent = self._shadow_attainment(self.require_plan(), validate_on)
+            candidate = self._shadow_attainment(result.plan, validate_on)
+            if candidate <= incumbent:
+                return False
+        self._install_plan(result.plan, reason=reason)
+        self.profiler.set_reference(stats)
+        return True
+
+    def _shadow_attainment(self, plan: DeploymentPlan, trace: Trace) -> float:
+        """Simulated E2E attainment of ``plan`` on ``trace`` (no state touched)."""
+        simulator = ServingSimulator(
+            self.cluster, plan, self.model, params=self.params, config=self.simulator_config
+        )
+        return simulator.run(trace, label="shadow").slo_attainment(self.slo)
+
+    def serve_live(self, trace: Trace, config=None, label: str = "live"):
+        """Serve a trace through the adaptive live loop with SLO observability.
+
+        Convenience facade over :class:`~repro.serving.live.LiveServer`: the
+        trace is replayed in bounded windows on a time-warped serving clock,
+        each window streams a telemetry record (attainment, queue wait,
+        estimated rho, plan id), SLO objectives are evaluated per window, and
+        breaches / workload shifts trigger :meth:`reschedule_online`.
+
+        Parameters
+        ----------
+        trace:
+            The request trace to replay.
+        config:
+            Optional :class:`~repro.serving.live.LiveServeConfig`.
+        label:
+            Run label stamped onto window results and breach events.
+
+        Returns
+        -------
+        repro.serving.live.LiveServeReport
+            Windowed telemetry, per-window results and breach events.
+        """
+        from repro.serving.live import LiveServer  # local import: live.py imports this module
+
+        return LiveServer(self, config=config).run(trace, label=label)
+
+    @property
+    def num_plan_changes(self) -> int:
+        """Number of plan installations *after* the initial one (re-schedulings)."""
+        installs = sum(1 for e in self.events if e.kind == "plan_installed")
+        return max(0, installs - 1)
 
     # ------------------------------------------------------------------ failures
     def handle_gpu_failure(

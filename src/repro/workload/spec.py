@@ -118,19 +118,44 @@ class WorkloadStats:
     request_rate: float
     num_requests: int = 0
 
-    def as_spec(self, name: str = "observed") -> WorkloadSpec:
-        """Convert the observed means into a (zero-variance) workload spec.
+    def as_spec(
+        self, name: str = "observed", template: "WorkloadSpec | None" = None
+    ) -> WorkloadSpec:
+        """Convert the observed means into a workload spec for re-planning.
 
-        The scheduler's simulator only needs means, so a degenerate spec with the
-        observed means is a faithful stand-in for re-planning purposes.
+        Without a ``template`` the spec is degenerate (zero variance): the
+        observed means become the medians.  With a ``template`` — typically the
+        workload the deployment was planned for — its log-normal sigmas and
+        length bounds are inherited and the medians are set so the spec's
+        *means* match the observed means (a log-normal's mean exceeds its
+        median by ``exp(sigma^2 / 2)``).  The profiler only tracks means, so
+        the template supplies the spread; feeding the estimator a zero-variance
+        spec collapses its quantile grid to a single point and makes per-pair
+        attainment all-or-nothing, which is exactly the wrong signal to drive
+        an online phase-flip decision with.
         """
-        return WorkloadSpec(
+        input_sigma = template.input_sigma if template is not None else 0.0
+        output_sigma = template.output_sigma if template is not None else 0.0
+        spec = WorkloadSpec(
             name=name,
-            median_input_length=max(1.0, self.mean_input_length),
-            median_output_length=max(1.0, self.mean_output_length),
-            input_sigma=0.0,
-            output_sigma=0.0,
+            median_input_length=max(
+                1.0, self.mean_input_length / math.exp(input_sigma**2 / 2)
+            ),
+            median_output_length=max(
+                1.0, self.mean_output_length / math.exp(output_sigma**2 / 2)
+            ),
+            input_sigma=input_sigma,
+            output_sigma=output_sigma,
         )
+        if template is not None:
+            spec = replace(
+                spec,
+                min_input_length=template.min_input_length,
+                max_input_length=template.max_input_length,
+                min_output_length=template.min_output_length,
+                max_output_length=template.max_output_length,
+            )
+        return spec
 
 
 #: Coding workload: long prompts (median > 1000 tokens), very short completions

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Offline docstring gate for the documented packages.
+
+CI enforces pydocstyle (ruff's ``D`` rules, numpy convention) on
+``repro.serving`` and ``repro.scenarios`` — see ``[tool.ruff.lint]`` in
+``pyproject.toml``.  This script is the dependency-free mirror of the
+highest-signal subset of those rules, so the gate is runnable in offline
+environments where ruff is not installed:
+
+* coverage — public modules, classes, functions and methods must carry a
+  docstring (D100-D104, with the D105/D107 exemptions from pyproject.toml);
+* summary format — docstrings start with a capitalised summary line ending in
+  a period (D403/D400), and multi-line docstrings put a blank line after the
+  summary (D205);
+* numpy sections — section underlines are dashes of exactly the section-name
+  length (D407/D409).
+
+Run:  python tools/check_docstrings.py [paths...]
+Defaults to src/repro/serving and src/repro/scenarios.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List
+
+_SECTIONS = {
+    "Parameters", "Returns", "Yields", "Raises", "Attributes",
+    "Notes", "Examples", "See Also", "Warnings", "References",
+}
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _check_docstring_format(doc: str, where: str, problems: List[str]) -> None:
+    lines = doc.strip().splitlines()
+    if not lines:
+        problems.append(f"{where}: empty docstring")
+        return
+    summary = lines[0].strip()
+    if summary and summary[0].isalpha() and not summary[0].isupper():
+        problems.append(f"{where}: summary line not capitalised (D403)")
+    if not summary.endswith("."):
+        problems.append(f"{where}: summary line should end with a period (D400)")
+    if len(lines) > 1 and lines[1].strip():
+        problems.append(f"{where}: blank line required after summary (D205)")
+    for i, line in enumerate(lines[:-1]):
+        name = line.strip()
+        if name in _SECTIONS:
+            underline = lines[i + 1].strip()
+            if underline != "-" * len(name):
+                problems.append(
+                    f"{where}: section {name!r} underline must be "
+                    f"{len(name)} dashes (D407/D409)"
+                )
+
+
+def _check_node(node: ast.AST, qualname: str, path: Path, problems: List[str]) -> None:
+    doc = ast.get_docstring(node, clean=True)
+    kind = type(node).__name__
+    where = f"{path}:{getattr(node, 'lineno', 1)} {qualname or '<module>'}"
+    if doc is None:
+        problems.append(f"{where}: missing docstring ({kind})")
+        return
+    _check_docstring_format(doc, where, problems)
+
+
+def check_file(path: Path, problems: List[str]) -> None:
+    """Check one python file's public API docstrings, appending problems."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    _check_node(tree, "", path, problems)
+
+    def walk(node: ast.AST, prefix: str, in_class: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = child.name
+                # D105/D107 exemptions: dunders and __init__ ride on the
+                # class docstring.
+                if not _is_public(name):
+                    continue
+                # @overload bodies are signatures, not implementations.
+                if any(
+                    isinstance(d, ast.Name) and d.id == "overload"
+                    for d in child.decorator_list
+                ):
+                    continue
+                _check_node(child, f"{prefix}{name}", path, problems)
+            elif isinstance(child, ast.ClassDef):
+                if not _is_public(child.name):
+                    continue
+                _check_node(child, f"{prefix}{child.name}", path, problems)
+                walk(child, f"{prefix}{child.name}.", True)
+
+    walk(tree, "", False)
+
+
+def main(argv: List[str]) -> int:
+    """Check the given (or default) trees; print problems; return exit code."""
+    root = Path(__file__).resolve().parent.parent
+    targets = [Path(a) for a in argv] or [
+        root / "src" / "repro" / "serving",
+        root / "src" / "repro" / "scenarios",
+    ]
+    files: List[Path] = []
+    for target in targets:
+        files.extend(sorted(target.rglob("*.py")) if target.is_dir() else [target])
+    problems: List[str] = []
+    for path in files:
+        check_file(path, problems)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"check_docstrings: {len(problems)} problem(s) in {len(files)} file(s)")
+        return 1
+    print(f"check_docstrings: OK ({len(files)} file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Validate intra-repo markdown links.
+
+Scans ``README.md`` and ``docs/*.md`` for markdown links and inline reference
+targets, resolves every relative target against the file that contains it, and
+fails (exit code 1) if any target does not exist in the working tree.  External
+links (``http(s)://``, ``mailto:``) and pure in-page anchors (``#section``)
+are skipped; a relative target's ``#anchor`` suffix is stripped before the
+existence check.
+
+Run from anywhere inside the repo:
+
+    python tools/check_links.py
+
+Used by the CI ``docs`` job; see ``.github/workflows/ci.yml``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+# Inline links [text](target) — stops at the first unescaped ')'.  Images
+# ![alt](target) match too via the optional leading '!'.
+_INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Reference definitions: [label]: target
+_REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def repo_root() -> Path:
+    """Locate the repository root (the directory containing README.md)."""
+    here = Path(__file__).resolve().parent
+    for candidate in (here, *here.parents):
+        if (candidate / "README.md").exists():
+            return candidate
+    raise SystemExit("check_links: could not locate repo root (no README.md found)")
+
+
+def markdown_files(root: Path) -> List[Path]:
+    """The markdown files the checker covers: README.md plus docs/*.md."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def extract_targets(text: str) -> Iterable[str]:
+    """Yield every link target appearing in ``text``."""
+    in_code_block = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_code_block = not in_code_block
+            continue
+        if in_code_block:
+            continue
+        for match in _INLINE_LINK.finditer(line):
+            yield match.group(1)
+        for match in _REF_DEF.finditer(line):
+            yield match.group(1)
+
+
+def check_file(md_file: Path, root: Path) -> List[Tuple[str, str]]:
+    """Return (target, reason) pairs for every broken link in ``md_file``."""
+    broken: List[Tuple[str, str]] = []
+    for target in extract_targets(md_file.read_text(encoding="utf-8")):
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:  # pure anchor after stripping
+            continue
+        if path_part.startswith("/"):
+            resolved = root / path_part.lstrip("/")
+        else:
+            resolved = (md_file.parent / path_part).resolve()
+        try:
+            resolved.relative_to(root)
+        except ValueError:
+            broken.append((target, "escapes the repository"))
+            continue
+        if not resolved.exists():
+            broken.append((target, "target does not exist"))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    """Check every covered markdown file; print failures; return exit code."""
+    root = repo_root()
+    files = [Path(a).resolve() for a in argv] or markdown_files(root)
+    failures = 0
+    for md_file in files:
+        for target, reason in check_file(md_file, root):
+            print(f"{md_file.relative_to(root)}: broken link {target!r} ({reason})")
+            failures += 1
+    if failures:
+        print(f"check_links: {failures} broken link(s)")
+        return 1
+    print(f"check_links: OK ({len(files)} file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
