@@ -28,6 +28,21 @@ are gated under their own rules instead of the speedup rules:
   baseline's — simulation seeds are pinned, so genuine estimator changes are
   the only thing that moves it.
 
+Reports with ``"kind": "chaos_recovery"`` (the fault-storm benchmark) gate the
+failure-lifecycle properties instead:
+
+* same-seed chaos replay must be deterministic (bitwise-identical fault
+  schedule and telemetry stream across two runs);
+* the fault-aware adaptive loop must hold worst-window attainment at least at
+  the static run's, with >= 1 failure-triggered and >= 1 recovery-triggered
+  plan change installed, and post-recovery attainment at least the attainment
+  under failure;
+* the total-loss scenario must complete with >= 1 zero-attainment outage
+  window instead of aborting the sweep;
+* adaptive worst-window attainment must not drift more than
+  ``CHAOS_DRIFT_SLACK`` from the committed baseline — the replay is
+  deterministic, so only a genuine serving change can move it.
+
 **Non-gating** (printed as warnings): absolute wall-clock movements.  Those are
 dominated by runner hardware and CPU steal, so they stay advisory.
 
@@ -67,6 +82,12 @@ WALLCLOCK_WARN_FACTOR = 2.0
 #: estimator change can move the gap, and this much movement needs a fresh
 #: baseline (i.e. a deliberate decision), not a silent pass.
 GAP_DRIFT_SLACK = 0.03
+
+#: Absolute movement of adaptive worst-window attainment vs. the committed
+#: chaos baseline above which the gate fails.  The fault replay is
+#: deterministic end to end, so movement means the serving or rescheduling
+#: behaviour changed and the baseline needs a deliberate regeneration.
+CHAOS_DRIFT_SLACK = 0.05
 
 
 def load_report(path: str) -> Optional[Dict]:
@@ -118,6 +139,84 @@ def compare_agreement(baseline: Dict, fresh: Dict) -> Tuple[List[str], List[str]
     return failures, warnings
 
 
+def compare_chaos(baseline: Dict, fresh: Dict) -> Tuple[List[str], List[str]]:
+    """Gate a chaos-recovery report (kind ``chaos_recovery``)."""
+    failures: List[str] = []
+    warnings: List[str] = []
+
+    if not fresh.get("deterministic_replay", False):
+        failures.append(
+            "deterministic_replay is false: the same injector seed no longer "
+            "produces a bitwise-identical fault schedule and telemetry stream"
+        )
+
+    ordering_checks = (
+        (
+            "adaptive_worst",
+            "static_worst",
+            "fault-aware adaptive worst-window attainment fell below static",
+        ),
+        (
+            "post_recovery_attainment",
+            "attainment_under_failure",
+            "attainment did not recover after the rejoin replan",
+        ),
+    )
+    for high_key, low_key, message in ordering_checks:
+        try:
+            high = float(fresh[high_key])
+            low = float(fresh[low_key])
+        except (KeyError, TypeError, ValueError):
+            failures.append(f"{high_key}/{low_key} missing from the fresh report")
+            continue
+        if high < low - 1e-9:
+            failures.append(f"{message}: {high_key} {high:.3f} < {low_key} {low:.3f}")
+
+    for key, label in (
+        ("failure_replans", "failure-triggered"),
+        ("recovery_replans", "recovery-triggered"),
+    ):
+        count = fresh.get(key)
+        if not isinstance(count, int) or count < 1:
+            failures.append(
+                f"no {label} plan change installed ({key} is {count!r}); the "
+                "failure lifecycle no longer exercises the rescheduler"
+            )
+
+    if not isinstance(fresh.get("total_loss_outage_windows"), int) or (
+        fresh["total_loss_outage_windows"] < 1
+    ):
+        failures.append(
+            "total-loss scenario produced no outage windows "
+            f"({fresh.get('total_loss_outage_windows')!r})"
+        )
+    if fresh.get("total_loss_error"):
+        failures.append(
+            f"total-loss scenario aborted the sweep: {fresh['total_loss_error']}"
+        )
+    if not fresh.get("total_loss_post_attainment_zero", False):
+        failures.append(
+            "requests arriving after total capacity loss were not all "
+            "reported unserved (outage attainment must be zero)"
+        )
+
+    try:
+        base_worst = float(baseline["adaptive_worst"])
+        fresh_worst = float(fresh["adaptive_worst"])
+    except (KeyError, TypeError, ValueError):
+        failures.append("adaptive_worst missing from baseline or fresh report")
+    else:
+        if abs(fresh_worst - base_worst) > CHAOS_DRIFT_SLACK:
+            failures.append(
+                f"adaptive worst-window attainment drifted from {base_worst:.3f} "
+                f"to {fresh_worst:.3f} (> {CHAOS_DRIFT_SLACK} slack); the replay "
+                "is deterministic, so if the serving change is intentional, "
+                "regenerate the baseline"
+            )
+
+    return failures, warnings
+
+
 def compare(
     baseline: Dict, fresh: Dict, max_regression: float = DEFAULT_MAX_REGRESSION
 ) -> Tuple[List[str], List[str]]:
@@ -134,14 +233,19 @@ def compare(
         )
         return failures, warnings
 
-    if "estimator_agreement" in (baseline.get("kind"), fresh.get("kind")):
+    special_kinds = {
+        "estimator_agreement": compare_agreement,
+        "chaos_recovery": compare_chaos,
+    }
+    kinds = (baseline.get("kind"), fresh.get("kind"))
+    if any(kind in special_kinds for kind in kinds):
         if baseline.get("kind") != fresh.get("kind"):
             failures.append(
                 f"report kind mismatch: baseline is {baseline.get('kind')!r} "
                 f"but the fresh run is {fresh.get('kind')!r}"
             )
             return failures, warnings
-        return compare_agreement(baseline, fresh)
+        return special_kinds[fresh["kind"]](baseline, fresh)
 
     if not fresh.get("identical_metrics", False):
         failures.append(
@@ -219,6 +323,14 @@ def check_pair(baseline_path: str, fresh_path: str, max_regression: float) -> in
             f"OK: [{name}] max gap {fresh['max_gap']} / mean gap "
             f"{fresh['mean_gap']} within tolerances "
             f"(mode {fresh.get('mode')!r}), overloaded plan estimates zero"
+        )
+    elif fresh.get("kind") == "chaos_recovery":
+        print(
+            f"OK: [{name}] deterministic replay, adaptive worst "
+            f"{fresh['adaptive_worst']} >= static {fresh['static_worst']}, "
+            f"{fresh['failure_replans']} failure / {fresh['recovery_replans']} "
+            f"recovery replans, total loss degrades gracefully "
+            f"(mode {fresh.get('mode')!r})"
         )
     else:
         print(

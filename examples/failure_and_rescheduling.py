@@ -7,8 +7,11 @@ minutes.  This example knocks out one 4xA6000 instance mid-deployment and compar
 serving quality and interruption cost for the three strategies the paper evaluates.
 
 Run with:  python examples/failure_and_rescheduling.py
+(set ``REPRO_EXAMPLE_FAST=1`` for the CI smoke configuration: shorter trace,
+smaller tabu budget, same pipeline end to end)
 """
 
+import os
 import time
 
 from repro.core.types import SLOType
@@ -23,18 +26,24 @@ from repro.workload.generator import generate_requests
 from repro.workload.spec import CONVERSATION_WORKLOAD
 
 
+FAST = bool(int(os.environ.get("REPRO_EXAMPLE_FAST", "0")))
+
+
 def main() -> None:
     cluster = make_cloud_cluster(seed=0)
     model = get_model_config("llama-30b")
     workload = CONVERSATION_WORKLOAD
     rate = 6.0
-    trace = generate_requests(workload, rate, duration=40.0, seed=7)
+    duration = 15.0 if FAST else 40.0
+    num_steps = 6 if FAST else 12
+    trace = generate_requests(workload, rate, duration=duration, seed=7)
 
     def build_system():
         system = ThunderServe(
             cluster, model, workload, rate,
             scheduler_config=SchedulerConfig(
-                tabu=TabuSearchConfig(num_steps=12, num_neighbors=5, patience=8), seed=1
+                tabu=TabuSearchConfig(num_steps=num_steps, num_neighbors=5, patience=8),
+                seed=1,
             ),
         )
         system.deploy()

@@ -11,9 +11,12 @@ just served before adoption, so the loop never installs a plan that
 demonstrably serves the observed workload worse.
 
 Run with:  python examples/live_serving.py
+(set ``REPRO_EXAMPLE_FAST=1`` for the CI smoke configuration: shorter trace,
+smaller tabu budget, same pipeline end to end)
 """
 
 import json
+import os
 
 from repro.hardware.cluster import make_cloud_cluster
 from repro.model.architecture import get_model_config
@@ -27,11 +30,17 @@ from repro.utils.tables import format_table
 from repro.workload.spec import CODING_WORKLOAD, CONVERSATION_WORKLOAD
 
 
+FAST = bool(int(os.environ.get("REPRO_EXAMPLE_FAST", "0")))
+
+
 def main() -> None:
     cluster = make_cloud_cluster(seed=0)
     model = get_model_config("llama-30b")
     scenario = get_scenario(
-        "diurnal", duration=120.0, request_rate=4.0, workload=CODING_WORKLOAD
+        "diurnal",
+        duration=60.0 if FAST else 120.0,
+        request_rate=4.0,
+        workload=CODING_WORKLOAD,
     )
     trace = scenario.build_trace(seed=0)
 
@@ -44,7 +53,10 @@ def main() -> None:
         request_rate=3.0,
         slo=scenario_slo(scenario, model),
         scheduler_config=SchedulerConfig(
-            tabu=TabuSearchConfig(num_steps=12, num_neighbors=5, patience=8), seed=0
+            tabu=TabuSearchConfig(
+                num_steps=6 if FAST else 12, num_neighbors=5, patience=8
+            ),
+            seed=0,
         ),
     )
     system.deploy(seed=0)

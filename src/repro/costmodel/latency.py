@@ -171,6 +171,12 @@ class ReplicaCostModel:
         Model architecture being served.
     params:
         Efficiency constants.
+    slowdown:
+        Uniform latency multiplier on every prefill/decode latency this
+        replica produces (straggler injection: a degraded GPU slows the whole
+        replica down).  ``1.0`` is bitwise-neutral — multiplying a float by
+        ``1.0`` is exact, so the default path and the scalar/array parity
+        contracts are unaffected.
     """
 
     def __init__(
@@ -179,15 +185,19 @@ class ReplicaCostModel:
         plan: ReplicaPlan,
         model: ModelConfig,
         params: CostModelParams = DEFAULT_PARAMS,
+        slowdown: float = 1.0,
     ) -> None:
         if plan.total_layers != model.num_layers:
             raise ConfigurationError(
                 f"plan hosts {plan.total_layers} layers but the model has {model.num_layers}"
             )
+        if slowdown <= 0:
+            raise ConfigurationError("slowdown must be positive")
         self.cluster = cluster
         self.plan = plan
         self.model = model
         self.params = params
+        self.slowdown = float(slowdown)
         #: memoized decode-step latencies keyed by (batch_size, context_length);
         #: filled by :meth:`decode_step_grid` and shared across simulator epochs
         self._decode_step_memo: Dict[Tuple[int, int], float] = {}
@@ -267,7 +277,7 @@ class ReplicaCostModel:
             overhead = stage.num_layers * self.params.per_layer_overhead_s + self.params.per_stage_overhead_s
             total += max(compute_t, mem_t) + overhead + self._tp_comm_time(stage, input_length, batch_size)
         total += self._pp_comm_time(input_length, batch_size)
-        return total
+        return total * self.slowdown
 
     def prefill_throughput(self, input_length: int, batch_size: int = 1) -> float:
         """Prefill throughput in prompt tokens per second."""
@@ -347,7 +357,7 @@ class ReplicaCostModel:
             for link in self._pp_links:
                 pp = pp + (link.alpha_s + activation_bytes / link.beta_bytes_per_s)
             total = total + pp
-        return total
+        return total * self.slowdown
 
     def prefill_latency_grid(
         self, input_lengths: np.ndarray, batch_sizes: np.ndarray
@@ -446,7 +456,7 @@ class ReplicaCostModel:
             overhead = stage.num_layers * self.params.per_layer_overhead_s + self.params.per_stage_overhead_s
             total += max(compute_t, mem_t) + overhead + self._tp_comm_time(stage, 1, batch_size)
         total += self._pp_comm_time(1, batch_size)
-        return total
+        return total * self.slowdown
 
     def decode_step_latency_array(
         self, batch_sizes: Sequence[int] | np.ndarray, context_lengths: Sequence[int] | np.ndarray
@@ -507,7 +517,7 @@ class ReplicaCostModel:
             for link in self._pp_links:
                 pp = pp + (link.alpha_s + activation_bytes / link.beta_bytes_per_s)
             total = total + pp
-        return total
+        return total * self.slowdown
 
     def decode_step_grid(
         self, batch_sizes: np.ndarray, context_lengths: np.ndarray

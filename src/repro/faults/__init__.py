@@ -1,0 +1,38 @@
+"""Fault injection: typed fault taxonomy, seeded injector, cluster fault state.
+
+The paper's robustness story (Fig. 11, Table 4) is about the full failure
+lifecycle — degrade, detect, replan, recover — not just one-way GPU loss.
+This package models that lifecycle:
+
+* :mod:`repro.faults.taxonomy` — the typed fault vocabulary
+  (:class:`FaultKind`, :class:`FaultEvent`, :class:`FaultSchedule`):
+  GPU/spot preemption, whole-node crash, capacity recovery/rejoin,
+  network-link degradation and per-replica straggler slowdown, with
+  construction-time validation against a scenario duration and a cluster.
+* :mod:`repro.faults.injector` — :class:`FaultProcess` /
+  :class:`FaultInjector`: seeded stochastic fault processes (per-class
+  MTBF/MTTR alternating renewal) compiled into deterministic, replayable
+  :class:`FaultSchedule` objects.
+* :mod:`repro.faults.state` — :class:`ClusterFaultState`: the pure state
+  machine that folds fault events into a degraded cluster view (removed GPU
+  set, link scaling, straggler slowdowns, total-loss outage detection)
+  without ever double-removing or resurrecting unknown GPUs.
+
+The live serving loop (:class:`~repro.serving.live.LiveServer`) applies
+compiled schedules between windows; see ``docs/architecture.md`` for the
+end-to-end wiring.
+"""
+
+from repro.faults.injector import FaultInjector, FaultProcess
+from repro.faults.state import AppliedFault, ClusterFaultState
+from repro.faults.taxonomy import FaultEvent, FaultKind, FaultSchedule
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultProcess",
+    "FaultInjector",
+    "ClusterFaultState",
+    "AppliedFault",
+]

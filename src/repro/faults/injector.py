@@ -1,0 +1,249 @@
+"""Seeded fault injector: stochastic fault processes compiled to schedules.
+
+A :class:`FaultProcess` describes one class of recurring fault as an
+alternating renewal process — exponential time-between-failures (MTBF) and
+exponential time-to-repair (MTTR).  :class:`FaultInjector` compiles a set of
+processes against a concrete cluster and horizon into a deterministic
+:class:`~repro.faults.taxonomy.FaultSchedule`:
+
+* every process draws from its own child RNG, derived from the injector seed
+  and the process identity via a stable CRC — so adding or re-ordering
+  processes never perturbs another process's stream, and the same seed always
+  yields a bitwise-identical schedule;
+* capacity faults pin their victim GPUs at compile time (drawn from the
+  process's own alive-view of the cluster), so replaying the schedule is pure
+  bookkeeping with no sampling left at serve time;
+* each failure is paired with a recovery event at ``t + MTTR`` draw when the
+  repair lands inside the horizon; otherwise the fault persists to the end
+  (a preemption that outlives the trace).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.rng import ensure_rng
+from repro.hardware.cluster import Cluster
+from repro.faults.taxonomy import FaultEvent, FaultKind, FaultSchedule
+
+#: fault kinds a process may emit (recovery kinds are generated automatically)
+PROCESS_KINDS = (
+    FaultKind.GPU_PREEMPTION,
+    FaultKind.NODE_CRASH,
+    FaultKind.LINK_DEGRADATION,
+    FaultKind.STRAGGLER,
+)
+
+#: the recovery kind paired with each failure kind
+RECOVERY_OF = {
+    FaultKind.GPU_PREEMPTION: FaultKind.RECOVERY,
+    FaultKind.NODE_CRASH: FaultKind.RECOVERY,
+    FaultKind.LINK_DEGRADATION: FaultKind.LINK_RECOVERY,
+    FaultKind.STRAGGLER: FaultKind.STRAGGLER_RECOVERY,
+}
+
+
+@dataclass(frozen=True)
+class FaultProcess:
+    """One recurring fault class: an MTBF/MTTR alternating renewal process.
+
+    Parameters
+    ----------
+    kind:
+        Failure kind the process emits (one of :data:`PROCESS_KINDS`); the
+        paired recovery kind is implied.
+    mtbf_s:
+        Mean time between failures (seconds) — the exponential mean of the
+        healthy interval before each failure.
+    mttr_s:
+        Mean time to repair (seconds) — the exponential mean of the degraded
+        interval.  ``0`` disables recovery: each failure persists forever
+        (one-way spot preemption).
+    num_gpus:
+        Victims per :attr:`~repro.faults.taxonomy.FaultKind.GPU_PREEMPTION` /
+        stragglers per :attr:`~repro.faults.taxonomy.FaultKind.STRAGGLER`
+        event; ignored for node crashes (the whole node goes) and link
+        degradation (no victims).
+    bandwidth_scale, latency_scale:
+        Link multipliers emitted by a link-degradation process.
+    slowdown:
+        Latency multiplier emitted by a straggler process.
+    name:
+        Stable identity salt; lets two processes of the same kind draw from
+        distinct RNG streams.
+    """
+
+    kind: FaultKind
+    mtbf_s: float
+    mttr_s: float = 0.0
+    num_gpus: int = 1
+    bandwidth_scale: float = 0.5
+    latency_scale: float = 1.0
+    slowdown: float = 1.5
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        kind = FaultKind(self.kind)
+        object.__setattr__(self, "kind", kind)
+        if kind not in PROCESS_KINDS:
+            raise ConfigurationError(
+                f"process kind must be one of {[k.value for k in PROCESS_KINDS]}, "
+                f"got {kind.value!r}"
+            )
+        if self.mtbf_s <= 0:
+            raise ConfigurationError("mtbf_s must be positive")
+        if self.mttr_s < 0:
+            raise ConfigurationError("mttr_s must be non-negative")
+        if self.num_gpus < 1:
+            raise ConfigurationError("num_gpus must be >= 1")
+        if self.bandwidth_scale <= 0:
+            raise ConfigurationError("bandwidth_scale must be positive")
+        if self.latency_scale < 0:
+            raise ConfigurationError("latency_scale must be non-negative")
+        if self.slowdown <= 0:
+            raise ConfigurationError("slowdown must be positive")
+
+    def identity(self) -> str:
+        """Stable identity string used to derive the process's RNG stream."""
+        return f"{self.kind.value}:{self.name}"
+
+
+class FaultInjector:
+    """Compiles stochastic fault processes into deterministic schedules.
+
+    Parameters
+    ----------
+    processes:
+        The fault processes to compile.  Process identities
+        (:meth:`FaultProcess.identity`) must be unique so every process gets
+        its own RNG stream.
+    seed:
+        Base seed of the injector; the same seed always compiles to a
+        bitwise-identical schedule for the same processes and cluster.
+    """
+
+    def __init__(self, processes: Sequence[FaultProcess], seed: int = 0) -> None:
+        self.processes: Tuple[FaultProcess, ...] = tuple(processes)
+        if not self.processes:
+            raise ConfigurationError("at least one fault process is required")
+        identities = [p.identity() for p in self.processes]
+        if len(set(identities)) != len(identities):
+            raise ConfigurationError(
+                f"fault process identities must be unique, got {identities}; "
+                "give same-kind processes distinct names"
+            )
+        self.seed = int(seed)
+
+    def _process_seed(self, process: FaultProcess) -> int:
+        """Per-process seed, independent of process ordering."""
+        digest = zlib.crc32(f"fault-process:{process.identity()}".encode())
+        return (self.seed * 1000003 + digest) % (2**31 - 1)
+
+    def compile(self, duration: float, cluster: Cluster) -> FaultSchedule:
+        """Roll every process forward over ``[0, duration)`` and pin victims.
+
+        Each process keeps its own alive-view of the cluster (its victims
+        return at their paired recovery), so one process never re-preempts a
+        GPU it already holds down; overlap *between* processes is allowed and
+        resolved by :class:`~repro.faults.state.ClusterFaultState` at apply
+        time.  A failure whose victim pool is empty (the process would have
+        to take the last GPUs it can see) is skipped rather than compiled
+        into an impossible event.
+
+        Returns
+        -------
+        FaultSchedule
+            The compiled schedule, already validated against ``duration`` and
+            ``cluster``.
+        """
+        if duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        events: List[FaultEvent] = []
+        for process in self.processes:
+            events.extend(self._compile_one(process, duration, cluster))
+        return FaultSchedule.from_events(events).validate(duration, cluster)
+
+    def _compile_one(
+        self, process: FaultProcess, duration: float, cluster: Cluster
+    ) -> List[FaultEvent]:
+        rng = ensure_rng(self._process_seed(process))
+        alive: Set[int] = set(g.gpu_id for g in cluster.all_gpus or cluster.gpus)
+        events: List[FaultEvent] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(process.mtbf_s))
+            if t >= duration:
+                break
+            victims = self._pick_victims(process, cluster, alive, rng)
+            if process.kind is not FaultKind.LINK_DEGRADATION and not victims:
+                continue  # nothing left for this process to degrade
+            events.append(self._failure_event(process, t, victims))
+            alive -= set(victims)
+            if process.mttr_s <= 0:
+                continue  # one-way fault: no repair, keep failing other GPUs
+            repair = t + float(rng.exponential(process.mttr_s))
+            if repair < duration:
+                events.append(self._recovery_event(process, repair, victims))
+                alive |= set(victims)
+                t = repair
+            # else: the fault outlives the horizon; the process keeps rolling
+            # from t so later failures can still strike the remaining pool.
+        return events
+
+    def _pick_victims(
+        self, process: FaultProcess, cluster: Cluster, alive: Set[int], rng
+    ) -> Tuple[int, ...]:
+        """Draw the pinned victim GPUs of one failure from the process's pool."""
+        if process.kind is FaultKind.LINK_DEGRADATION:
+            return ()
+        if process.kind is FaultKind.NODE_CRASH:
+            roster = {g.gpu_id: g.node_id for g in cluster.all_gpus or cluster.gpus}
+            nodes = sorted({roster[g] for g in alive})
+            if not nodes:
+                return ()
+            node = int(rng.choice(nodes))
+            return tuple(sorted(g for g in alive if roster[g] == node))
+        pool = sorted(alive)
+        if not pool:
+            return ()
+        count = min(process.num_gpus, len(pool))
+        picked = rng.choice(pool, size=count, replace=False)
+        return tuple(sorted(int(g) for g in picked))
+
+    def _failure_event(
+        self, process: FaultProcess, t: float, victims: Tuple[int, ...]
+    ) -> FaultEvent:
+        label = process.identity()
+        if process.kind is FaultKind.LINK_DEGRADATION:
+            return FaultEvent(
+                time=t,
+                kind=process.kind,
+                bandwidth_scale=process.bandwidth_scale,
+                latency_scale=process.latency_scale,
+                description=label,
+            )
+        if process.kind is FaultKind.STRAGGLER:
+            return FaultEvent(
+                time=t,
+                kind=process.kind,
+                gpu_ids=victims,
+                slowdown=process.slowdown,
+                description=label,
+            )
+        return FaultEvent(time=t, kind=process.kind, gpu_ids=victims, description=label)
+
+    def _recovery_event(
+        self, process: FaultProcess, t: float, victims: Tuple[int, ...]
+    ) -> FaultEvent:
+        return FaultEvent(
+            time=t,
+            kind=RECOVERY_OF[process.kind],
+            gpu_ids=victims,
+            description=f"{process.identity()} repair",
+        )
+
+
+__all__ = ["FaultProcess", "FaultInjector", "PROCESS_KINDS", "RECOVERY_OF"]

@@ -34,13 +34,18 @@ class Cluster:
 
     GPU ids are global and stable: removing GPUs (e.g. to model a node failure)
     produces a new :class:`Cluster` that keeps the original ids and network
-    matrices but exposes a smaller ``gpus`` list.
+    matrices but exposes a smaller ``gpus`` list.  The full roster of GPUs the
+    cluster has ever known is retained in ``all_gpus`` so that removed GPUs can
+    later be revived by id (:meth:`with_gpus` — capacity recovery after a spot
+    preemption ends or a crashed node rejoins).
     """
 
     nodes: List[Node]
     gpus: List[GPU]
     network: NetworkModel
     name: str = "cluster"
+    #: full GPU roster, including currently-removed GPUs; defaults to ``gpus``
+    all_gpus: Optional[List[GPU]] = None
 
     def __post_init__(self) -> None:
         if not self.gpus:
@@ -51,6 +56,19 @@ class Cluster:
         if max(ids) >= self.network.num_gpus:
             raise ConfigurationError("GPU id exceeds the size of the network matrices")
         self._gpu_by_id: Dict[int, GPU] = {g.gpu_id: g for g in self.gpus}
+        if self.all_gpus is None:
+            self.all_gpus = list(self.gpus)
+        roster_ids = [g.gpu_id for g in self.all_gpus]
+        if len(set(roster_ids)) != len(roster_ids):
+            raise ConfigurationError("duplicate GPU ids in cluster roster")
+        self._roster_by_id: Dict[int, GPU] = {g.gpu_id: g for g in self.all_gpus}
+        missing = set(self._gpu_by_id) - set(self._roster_by_id)
+        if missing:
+            raise ConfigurationError(
+                f"available GPUs {sorted(missing)} are absent from the cluster roster"
+            )
+        if max(roster_ids) >= self.network.num_gpus:
+            raise ConfigurationError("roster GPU id exceeds the size of the network matrices")
 
     # ------------------------------------------------------------------ accessors
     @property
@@ -62,6 +80,11 @@ class Cluster:
     def gpu_ids(self) -> List[int]:
         """Sorted list of available GPU ids."""
         return sorted(self._gpu_by_id)
+
+    @property
+    def removed_gpu_ids(self) -> List[int]:
+        """Sorted ids of roster GPUs that are currently removed (revivable)."""
+        return sorted(set(self._roster_by_id) - set(self._gpu_by_id))
 
     def gpu(self, gpu_id: int) -> GPU:
         """Look up a GPU by id."""
@@ -118,6 +141,54 @@ class Cluster:
             gpus=remaining,
             network=self.network,
             name=name or f"{self.name}-minus-{len(removed)}gpus",
+            all_gpus=self.all_gpus,
+        )
+
+    def with_gpus(self, gpu_ids: Iterable[int], name: Optional[str] = None) -> "Cluster":
+        """Return a new cluster with previously removed ``gpu_ids`` revived.
+
+        The inverse of :meth:`without_gpus`: GPUs are restored from the roster
+        by their global id (capacity recovery — a spot preemption ending, a
+        crashed node rejoining).  Ids must exist in the roster (``KeyError``
+        otherwise) and must currently be removed (:class:`ConfigurationError`
+        when asked to revive an already-alive GPU).
+        """
+        revived = set(gpu_ids)
+        unknown = revived - set(self._roster_by_id)
+        if unknown:
+            raise KeyError(f"cannot revive GPU ids {sorted(unknown)}: not in the cluster roster")
+        already = revived & set(self._gpu_by_id)
+        if already:
+            raise ConfigurationError(
+                f"cannot revive GPU ids {sorted(already)}: already available"
+            )
+        alive = set(self._gpu_by_id) | revived
+        restored = [g for g in self.all_gpus if g.gpu_id in alive]
+        return Cluster(
+            nodes=self.nodes,
+            gpus=restored,
+            network=self.network,
+            name=name or f"{self.name}-plus-{len(revived)}gpus",
+            all_gpus=self.all_gpus,
+        )
+
+    def with_network(self, network: NetworkModel, name: Optional[str] = None) -> "Cluster":
+        """Return a copy of this cluster with its interconnect model replaced.
+
+        Used to model network-link degradation and repair: the replacement
+        matrices (typically :meth:`~repro.hardware.network.NetworkModel.scaled`
+        applied to the pristine model) must cover every roster GPU id.
+        """
+        if network.num_gpus < self.network.num_gpus:
+            raise ConfigurationError(
+                "replacement network matrices are smaller than the cluster's roster"
+            )
+        return Cluster(
+            nodes=self.nodes,
+            gpus=list(self.gpus),
+            network=network,
+            name=name or self.name,
+            all_gpus=self.all_gpus,
         )
 
     def restricted_to(self, gpu_ids: Iterable[int], name: Optional[str] = None) -> "Cluster":
@@ -129,7 +200,13 @@ class Cluster:
         selected = [g for g in self.gpus if g.gpu_id in keep]
         if not selected:
             raise ConfigurationError("restriction would produce an empty cluster")
-        return Cluster(nodes=self.nodes, gpus=selected, network=self.network, name=name or f"{self.name}-subset")
+        return Cluster(
+            nodes=self.nodes,
+            gpus=selected,
+            network=self.network,
+            name=name or f"{self.name}-subset",
+            all_gpus=self.all_gpus,
+        )
 
     def describe(self) -> str:
         """Human-readable one-line summary, e.g. ``8xA40 + 8xA6000 + ...``."""

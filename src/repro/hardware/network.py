@@ -173,6 +173,37 @@ class NetworkModel:
                 link_class[i, j] = link_class[j, i] = cls_
         return cls(bandwidth, latency, link_class)
 
+    def scaled(
+        self,
+        bandwidth_scale: float = 1.0,
+        latency_scale: float = 1.0,
+        link_classes: Iterable[LinkClass] | None = None,
+    ) -> "NetworkModel":
+        """Return a degraded (or repaired) copy with scaled link matrices.
+
+        Off-diagonal bandwidths are multiplied by ``bandwidth_scale`` and
+        latencies by ``latency_scale``; the diagonal (on-device) entries are
+        untouched.  ``link_classes`` restricts the scaling to a subset of link
+        classes (e.g. only :attr:`LinkClass.INTER_DATACENTER` links during a
+        WAN brownout); ``None`` scales every off-diagonal link.  The receiver
+        is never mutated, so the pristine model stays available for repair —
+        re-derive the healthy state from it rather than multiplying back.
+        """
+        if bandwidth_scale <= 0:
+            raise ConfigurationError("bandwidth_scale must be positive")
+        if latency_scale < 0:
+            raise ConfigurationError("latency_scale must be non-negative")
+        bandwidth = self._bandwidth_gbps.copy()
+        latency = self._latency_s.copy()
+        mask = ~np.eye(self.num_gpus, dtype=bool)
+        if link_classes is not None:
+            allowed = {LinkClass(c) for c in link_classes}
+            in_class = np.frompyfunc(lambda c: c in allowed, 1, 1)(self._link_class)
+            mask &= in_class.astype(bool)
+        bandwidth[mask] *= bandwidth_scale
+        latency[mask] *= latency_scale
+        return NetworkModel(bandwidth, latency, self._link_class)
+
     # ------------------------------------------------------------------ accessors
     @property
     def num_gpus(self) -> int:

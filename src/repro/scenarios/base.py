@@ -76,6 +76,17 @@ class Scenario(abc.ABC):
         """GPU preemption events injected while the trace is being served."""
         return ()
 
+    def rescheduling_mode(self) -> str:
+        """Capacity-replan strategy applied after each failure event.
+
+        One of the Figure 11 strategies accepted by
+        :meth:`~repro.serving.system.ThunderServe.replan_capacity`:
+        ``"lightweight"`` (§3.4 flip-only rescheduling, the default),
+        ``"full"`` (re-run the whole scheduler, parameters reload) or
+        ``"none"`` (drop dead serving groups and keep the rest).
+        """
+        return "lightweight"
+
     def describe(self) -> str:
         """Human-readable one-liner for reports."""
         return (

@@ -334,19 +334,26 @@ class SpotPreemptionScenario(Scenario):
     """Steady traffic with spot-instance preemptions injected mid-run.
 
     At each preemption fraction of the trace, ``gpus_per_preemption`` GPUs are
-    reclaimed; the serving system must absorb the loss with lightweight
-    rescheduling (Figure 11).  Victims are chosen by the sweep at event time from
-    whatever is still alive, mirroring how providers reclaim spot capacity.
+    reclaimed; the serving system must absorb the loss by replanning between
+    windows (Figure 11) with the strategy named by ``reschedule_mode`` —
+    ``"lightweight"`` (§3.4 flip-only, the default), ``"full"`` (re-run the
+    scheduler, parameters reload) or ``"none"`` (drop dead groups).  Victims
+    are chosen by the sweep at event time from whatever is still alive,
+    mirroring how providers reclaim spot capacity.
     """
 
     name: ClassVar[str] = "spot-preemption"
     description: ClassVar[str] = "spot-instance GPU preemptions mid-run"
+
+    #: replan strategies accepted by ``reschedule_mode``
+    RESCHEDULE_MODES: ClassVar[Tuple[str, ...]] = ("lightweight", "full", "none")
 
     request_rate: float = 4.0
     duration: float = 120.0
     preemption_fractions: Tuple[float, ...] = (0.4, 0.7)
     gpus_per_preemption: int = 2
     workload: WorkloadSpec = CONVERSATION_WORKLOAD
+    reschedule_mode: str = "lightweight"
 
     def __post_init__(self) -> None:
         if self.gpus_per_preemption < 1:
@@ -354,6 +361,11 @@ class SpotPreemptionScenario(Scenario):
         for f in self.preemption_fractions:
             if not 0 < f < 1:
                 raise ValueError("preemption fractions must be in (0, 1)")
+        if self.reschedule_mode not in self.RESCHEDULE_MODES:
+            raise ValueError(
+                f"reschedule_mode must be one of {self.RESCHEDULE_MODES}, "
+                f"got {self.reschedule_mode!r}"
+            )
 
     def build_trace(self, seed: RNGLike = None) -> Trace:
         """Sample steady Poisson arrivals (the disruption is the preemptions)."""
@@ -375,6 +387,10 @@ class SpotPreemptionScenario(Scenario):
             )
             for f in sorted(self.preemption_fractions)
         )
+
+    def rescheduling_mode(self) -> str:
+        """The configured per-scenario replan strategy (``reschedule_mode``)."""
+        return self.reschedule_mode
 
 
 __all__ = [

@@ -21,9 +21,9 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.exceptions import SchedulingError
+from repro.core.exceptions import ConfigurationError, SchedulingError
 from repro.core.rng import ensure_rng
-from repro.core.types import SLOType
+from repro.core.types import RequestMetrics, SLOType
 from repro.costmodel.latency import CostModelParams, DEFAULT_PARAMS
 from repro.costmodel.reference import a100_reference_latency
 from repro.hardware.cluster import Cluster
@@ -32,6 +32,7 @@ from repro.scenarios.base import Scenario
 from repro.scenarios.library import MultiTenantSLOTiersScenario
 from repro.scenarios.registry import default_scenarios
 from repro.scheduling.deployment import DeploymentPlan
+from repro.scheduling.rescheduling import ReschedulingOverheadModel
 from repro.scheduling.robust import scenario_slo
 from repro.scheduling.scheduler import SchedulerConfig
 from repro.serving.live import LiveServeConfig, LiveServer, WindowTelemetry
@@ -69,6 +70,12 @@ class ScenarioOutcome:
     #: each record carries the ``plan_id`` the window was served with and
     #: whether a new plan was installed after it.
     windows: List[WindowTelemetry] = field(default_factory=list)
+    #: total service interruption priced onto the scenario's replans by the
+    #: Table 4 :class:`~repro.scheduling.rescheduling.ReschedulingOverheadModel`
+    reschedule_overhead_s: float = 0.0
+    #: failure-path windows that arrived while no capacity could serve (their
+    #: requests are recorded as zero-attainment misses, not dropped silently)
+    num_outage_windows: int = 0
 
 
 class ScenarioSweep:
@@ -246,8 +253,13 @@ class ScenarioSweep:
 
         events = sorted(scenario.failure_schedule(), key=lambda e: e.time)
         windows: List[WindowTelemetry] = []
+        reschedule_overhead_s = 0.0
+        num_outage_windows = 0
         if events:
-            result = self._serve_with_failures(system, trace, events, scenario.name)
+            self._validate_failure_schedule(scenario, events, cluster)
+            result, reschedule_overhead_s, num_outage_windows = self._serve_with_failures(
+                system, trace, events, scenario.name, mode=scenario.rescheduling_mode()
+            )
         elif self.adaptive:
             live = LiveServer(system, config=self.live_config)
             live_report = live.run(trace, label=scenario.name)
@@ -278,32 +290,127 @@ class ScenarioSweep:
             per_tenant_attainment=per_tenant,
             result=result,
             windows=windows,
+            reschedule_overhead_s=reschedule_overhead_s,
+            num_outage_windows=num_outage_windows,
         )
 
+    def _validate_failure_schedule(
+        self, scenario: Scenario, events, cluster: Cluster
+    ) -> None:
+        """Reject malformed failure schedules before any window is served.
+
+        Raises
+        ------
+        ConfigurationError
+            When an event fires at/after the trace duration (it would never
+            take effect), pins GPU ids the cluster does not have, or asks for
+            more victims than the cluster holds.
+        """
+        available = set(cluster.gpu_ids)
+        for event in events:
+            if event.time >= scenario.duration:
+                raise ConfigurationError(
+                    f"scenario {scenario.name!r}: failure event at t={event.time:g}s "
+                    f"is at/after the trace duration ({scenario.duration:g}s) "
+                    "and would never fire"
+                )
+            if event.gpu_ids is not None:
+                unknown = sorted(set(event.gpu_ids) - available)
+                if unknown:
+                    raise ConfigurationError(
+                        f"scenario {scenario.name!r}: failure event at "
+                        f"t={event.time:g}s pins GPU ids {unknown} that are not "
+                        f"in the cluster (available: {sorted(available)})"
+                    )
+            elif event.num_gpus > cluster.num_gpus:
+                raise ConfigurationError(
+                    f"scenario {scenario.name!r}: failure event at t={event.time:g}s "
+                    f"asks for {event.num_gpus} victims but the cluster only has "
+                    f"{cluster.num_gpus} GPUs"
+                )
+
     def _serve_with_failures(
-        self, system: ThunderServe, trace: Trace, events, label: str
-    ) -> SimulationResult:
-        """Serve a trace window-by-window, applying preemptions between windows."""
+        self,
+        system: ThunderServe,
+        trace: Trace,
+        events,
+        label: str,
+        mode: str = "lightweight",
+    ) -> Tuple[SimulationResult, float, int]:
+        """Serve a trace window-by-window, applying preemptions between windows.
+
+        ``mode`` selects the per-failure replan strategy (see
+        :meth:`~repro.serving.system.ThunderServe.replan_capacity`); each
+        successful replan is priced with the Table 4
+        :class:`~repro.scheduling.rescheduling.ReschedulingOverheadModel`.  A
+        strategy that cannot produce a servable plan falls back to dropping
+        dead groups, and a total capacity loss degrades gracefully: the
+        remaining windows are recorded as zero-attainment outages (every
+        arrival an unfinished SLO miss) instead of aborting the sweep.
+
+        Returns
+        -------
+        Tuple[SimulationResult, float, int]
+            The merged result, the total priced rescheduling overhead in
+            seconds, and the number of outage windows.
+        """
         rng = ensure_rng(self._derive_seed(label, "failures"))
+        overhead_model = ReschedulingOverheadModel()
         results: List[SimulationResult] = []
+        overhead_s = 0.0
+        outage_windows = 0
+        dead = False
         window_start = float("-inf")
         for k, event in enumerate(events):
             window = trace.window(window_start, event.time)
             if not window.is_empty:
-                results.append(system.serve(window, label=f"{label}[{k}]"))
+                if dead:
+                    results.append(_outage_result(window, f"{label}[{k}]"))
+                    outage_windows += 1
+                else:
+                    results.append(system.serve(window, label=f"{label}[{k}]"))
+            window_start = event.time
+            if dead:
+                continue
             alive = sorted(system.cluster.gpu_ids)
             if event.gpu_ids is not None:
                 victims = [g for g in event.gpu_ids if g in alive]
             else:
                 count = min(event.num_gpus, max(0, len(alive) - 1))
                 victims = [int(g) for g in rng.choice(alive, size=count, replace=False)]
-            if victims:
-                system.handle_gpu_failure(victims, mode="lightweight")
-            window_start = event.time
+            if not victims:
+                continue
+            if len(victims) >= len(alive):
+                # Total capacity loss: nothing left to replan onto.
+                dead = True
+                continue
+            try:
+                plan = system.handle_gpu_failure(victims, mode=mode)
+                actual_mode = mode
+            except SchedulingError:
+                # The cluster already shrank; keep whatever groups survived.
+                try:
+                    plan = system.replan_capacity(
+                        mode="none", reason=f"fallback after {mode} replan failed"
+                    )
+                    actual_mode = "none"
+                except SchedulingError:
+                    dead = True
+                    continue
+            if actual_mode == "lightweight":
+                overhead_s += overhead_model.lightweight_overhead_seconds()
+            elif actual_mode == "full":
+                overhead_s += overhead_model.full_overhead_seconds(
+                    system.model, system.cluster.num_gpus, len(plan.groups)
+                )
         tail = trace.window(window_start, float("inf"))
         if not tail.is_empty:
-            results.append(system.serve(tail, label=f"{label}[tail]"))
-        return merge_results(results, label=label)
+            if dead:
+                results.append(_outage_result(tail, f"{label}[tail]"))
+                outage_windows += 1
+            else:
+                results.append(system.serve(tail, label=f"{label}[tail]"))
+        return merge_results(results, label=label), overhead_s, outage_windows
 
     def _tenant_attainment(
         self,
@@ -373,6 +480,24 @@ class ScenarioSweep:
             for _, o in sorted(outcomes.items())
         ]
         return format_table(headers, rows, precision=precision, title="Scenario sweep")
+
+
+def _outage_result(window: Trace, label: str) -> SimulationResult:
+    """Zero-attainment result of a window that arrived during a total outage.
+
+    Every arrival becomes an unfinished :class:`~repro.core.types.RequestMetrics`
+    record, which the attainment accounting counts as an SLO miss — the window
+    reports attainment 0 without losing its requests from the merged result.
+    """
+    metrics = [RequestMetrics(request=request) for request in window]
+    arrivals = [request.arrival_time for request in window]
+    duration = (max(arrivals) - min(arrivals)) if len(arrivals) >= 2 else 0.0
+    return SimulationResult(
+        metrics=metrics,
+        makespan=max(arrivals) if arrivals else 0.0,
+        trace_duration=duration,
+        label=label,
+    )
 
 
 def _run_scenario(

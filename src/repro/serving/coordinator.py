@@ -59,6 +59,8 @@ class RequestCoordinator:
         self._dispatched_by_tag: Dict[str, int] = {}
         self._shed = 0
         self._shed_by_tag: Dict[str, int] = {}
+        self._outage_dropped = 0
+        self._outage_dropped_by_tag: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ dispatch
     def assign(self, request: Request) -> Tuple[int, int]:
@@ -98,6 +100,18 @@ class RequestCoordinator:
         tag = request.workload or ""
         self._shed_by_tag[tag] = self._shed_by_tag.get(tag, 0) + 1
 
+    def record_outage_drop(self, request: Request) -> None:
+        """Account for a request lost to a total-capacity outage.
+
+        Unlike shed requests (a deliberate admission decision), outage drops
+        arrive while no GPU is alive to serve them; the live loop records them
+        as zero-attainment misses and this counter keeps the per-tag ledger
+        complete.
+        """
+        self._outage_dropped += 1
+        tag = request.workload or ""
+        self._outage_dropped_by_tag[tag] = self._outage_dropped_by_tag.get(tag, 0) + 1
+
     def complete(self, request_id: int) -> None:
         """Mark a request finished (releases its outstanding-work accounting)."""
         record = self._records.pop(request_id, None)
@@ -125,6 +139,16 @@ class RequestCoordinator:
     def shed_by_tag(self) -> Dict[str, int]:
         """Shed request counts keyed by ``Request.workload`` tag."""
         return dict(self._shed_by_tag)
+
+    @property
+    def num_outage_dropped(self) -> int:
+        """Total number of requests lost to total-capacity outage windows."""
+        return self._outage_dropped
+
+    @property
+    def outage_dropped_by_tag(self) -> Dict[str, int]:
+        """Outage-dropped request counts keyed by ``Request.workload`` tag."""
+        return dict(self._outage_dropped_by_tag)
 
     def outstanding(self, prefill_group_id: int) -> int:
         """Outstanding (dispatched, not completed) requests of one prefill replica."""

@@ -20,7 +20,13 @@ window it
    objectives, and emits edge-triggered breach events; and
 5. on a breach — or a profiler-detected workload shift — triggers the §3.4
    lightweight rescheduler online, so the next window is served by a plan
-   re-designated for the observed workload.
+   re-designated for the observed workload; and
+6. optionally replays a :class:`~repro.faults.FaultSchedule` against the loop:
+   fault events take effect at window boundaries, capacity loss triggers a
+   failure replan chain with bounded retry/backoff, capacity recovery triggers
+   a (shadow-validated) re-expansion replan, network degradation and straggler
+   slowdowns reprice the engine transparently, and a total-capacity outage
+   degrades gracefully to zero-attainment windows instead of crashing the run.
 
 Plan changes only happen *between* windows, which makes the loop auditable:
 replaying each window's sub-trace against its recorded plan in independent
@@ -48,7 +54,10 @@ from typing import (
 
 import numpy as np
 
-from repro.core.types import SLOType
+from repro.core.exceptions import InvalidPlanError, SchedulingError
+from repro.core.types import RequestMetrics, SLOType
+from repro.faults.state import ClusterFaultState
+from repro.faults.taxonomy import CAPACITY_LOSS_KINDS, FaultSchedule
 from repro.scheduling.deployment import DeploymentPlan, RoutingPolicy
 from repro.scheduling.estimator import SLOEstimator
 from repro.serving.monitor import SLOBreachTracker
@@ -135,6 +144,16 @@ class WindowTelemetry:
     breaches: Tuple[BreachEvent, ...] = ()
     #: per-tenant E2E attainment for ``"tenant:*"``-tagged requests
     per_tenant_attainment: Dict[str, float] = field(default_factory=dict)
+    #: whether the window was a total-capacity outage (nothing served)
+    outage: bool = False
+    #: whether any injected fault was active while the window was served
+    degraded: bool = False
+    #: human-readable fault events applied at this window's start
+    faults: Tuple[str, ...] = ()
+    #: GPUs alive when the window was served (``-1`` when fault injection is off)
+    num_gpus_alive: int = -1
+    #: capacity replan installed at this window's start (``""``/``failure``/``recovery``)
+    replan_trigger: str = ""
 
     def snapshot(self) -> Dict[str, float]:
         """Return the metric mapping SLO objectives are evaluated against."""
@@ -174,6 +193,11 @@ class WindowTelemetry:
             "plan_changed": self.plan_changed,
             "breaches": [b.to_dict() for b in self.breaches],
             "per_tenant_attainment": dict(self.per_tenant_attainment),
+            "outage": self.outage,
+            "degraded": self.degraded,
+            "faults": list(self.faults),
+            "num_gpus_alive": self.num_gpus_alive,
+            "replan_trigger": self.replan_trigger,
         }
 
     @classmethod
@@ -201,6 +225,11 @@ class WindowTelemetry:
                 BreachEvent.from_dict(b) for b in data.get("breaches", ())  # type: ignore[union-attr]
             ),
             per_tenant_attainment=dict(data.get("per_tenant_attainment", {})),  # type: ignore[arg-type]
+            outage=bool(data.get("outage", False)),
+            degraded=bool(data.get("degraded", False)),
+            faults=tuple(str(f) for f in data.get("faults", ())),  # type: ignore[union-attr]
+            num_gpus_alive=int(data.get("num_gpus_alive", -1)),  # type: ignore[arg-type]
+            replan_trigger=str(data.get("replan_trigger", "")),
         )
 
 
@@ -234,13 +263,50 @@ class LiveServeConfig:
         :meth:`~repro.serving.system.ThunderServe.reschedule_online`).  On by
         default — the estimator can mis-rank flip candidates near saturation,
         and an online loop must never adopt a plan that demonstrably serves
-        the observed workload worse.
+        the observed workload worse.  Recovery replans reuse the same guard
+        non-strictly (ties keep the candidate, see
+        :meth:`~repro.serving.system.ThunderServe.replan_capacity`).
+    faults:
+        Optional :class:`~repro.faults.FaultSchedule` to replay against the
+        loop.  Events take effect at the boundary of the window containing
+        their timestamp, keeping the piecewise-static contract: within a
+        window the serving configuration never changes.
+    reschedule_on_failure:
+        React to capacity loss by replanning through ``failure_mode_order``.
+        When off, dead serving groups are still dropped (mode ``"none"``) so
+        the surviving replicas keep serving, but nothing re-optimises — the
+        static arm of a chaos comparison.
+    reschedule_on_recovery:
+        React to capacity recovery (GPU rejoin) with a ``recovery_mode``
+        replan that re-expands onto the revived GPUs.  When off, revived
+        capacity stays idle.
+    failure_mode_order:
+        Replan strategies tried in order after a capacity loss; the first one
+        that yields a servable plan wins.  Strategies are the Figure 11 modes
+        accepted by :meth:`~repro.serving.system.ThunderServe.replan_capacity`.
+    recovery_mode:
+        Replan strategy after a capacity recovery.  Defaults to ``"full"``:
+        the §3.4 flip-only rescheduler cannot place new groups on revived
+        GPUs, so re-expansion needs the whole scheduler.
+    replan_max_retries:
+        Consecutive failed replan attempts tolerated before the loop backs
+        off.  While backed off (and whenever every strategy fails), affected
+        windows are served by the surviving plan — or recorded as
+        zero-attainment outage windows when no servable plan exists.
+    replan_backoff_windows:
+        Windows to skip replan attempts for after ``replan_max_retries``
+        consecutive failures.
+    degraded_admission_max_rho:
+        Tighter admission ceiling applied while any injected fault is active
+        (graceful degradation sheds load instead of missing every deadline).
+        ``None`` (default) keeps ``admission_max_rho`` in all conditions.
 
     Raises
     ------
     ValueError
-        If ``window_s`` is not positive or ``admission_max_rho`` is not in
-        ``(0, 1]``.
+        If ``window_s`` is not positive, an admission ceiling is not in
+        ``(0, 1]``, a replan mode is unknown, or a retry/backoff knob is
+        negative.
     """
 
     window_s: float = 30.0
@@ -249,12 +315,39 @@ class LiveServeConfig:
     reschedule_on_breach: bool = True
     reschedule_on_shift: bool = True
     validate_reschedule: bool = True
+    faults: Optional[FaultSchedule] = None
+    reschedule_on_failure: bool = True
+    reschedule_on_recovery: bool = True
+    failure_mode_order: Tuple[str, ...] = ("lightweight", "none")
+    recovery_mode: str = "full"
+    replan_max_retries: int = 2
+    replan_backoff_windows: int = 1
+    degraded_admission_max_rho: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.window_s <= 0:
             raise ValueError("window_s must be positive")
-        if self.admission_max_rho is not None and not 0 < self.admission_max_rho <= 1:
-            raise ValueError("admission_max_rho must be in (0, 1]")
+        for name in ("admission_max_rho", "degraded_admission_max_rho"):
+            ceiling = getattr(self, name)
+            if ceiling is not None and not 0 < ceiling <= 1:
+                raise ValueError(f"{name} must be in (0, 1]")
+        modes = ThunderServe.RESCHEDULE_MODES
+        self.failure_mode_order = tuple(self.failure_mode_order)
+        if not self.failure_mode_order:
+            raise ValueError("failure_mode_order must name at least one mode")
+        for field_name, field_modes in (
+            ("failure_mode_order", self.failure_mode_order),
+            ("recovery_mode", (self.recovery_mode,)),
+        ):
+            for mode in field_modes:
+                if mode not in modes:
+                    raise ValueError(
+                        f"{field_name} entries must be one of {modes}, got {mode!r}"
+                    )
+        if self.replan_max_retries < 1:
+            raise ValueError("replan_max_retries must be at least 1")
+        if self.replan_backoff_windows < 0:
+            raise ValueError("replan_backoff_windows must not be negative")
 
 
 @dataclass
@@ -271,11 +364,21 @@ class LiveServeReport:
     breaches: List[BreachEvent]
     #: label of the run
     label: str = "live"
+    #: fault-lifecycle log: one entry per applied fault event, in order
+    fault_log: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def num_plan_changes(self) -> int:
-        """Number of windows after which a new plan was installed."""
-        return sum(1 for w in self.windows if w.plan_changed)
+        """Number of plan installations during the run.
+
+        Counts end-of-window adaptations (``plan_changed``) plus the
+        failure/recovery replans installed at window starts by fault handling.
+        """
+        return sum(
+            1
+            for w in self.windows
+            if w.plan_changed or w.replan_trigger in ("failure", "recovery")
+        )
 
     @property
     def plan_ids(self) -> List[str]:
@@ -293,9 +396,102 @@ class LiveServeReport:
             return 1.0
         return min(w.attainment_e2e for w in self.windows)
 
+    def fault_stats(self) -> Dict[str, float]:
+        """Summarise the run's fault lifecycle (all-zero without faults).
+
+        Returns
+        -------
+        Dict[str, float]
+            ``outage_windows`` / ``degraded_windows`` — window counts;
+            ``attainment_under_failure`` — mean windowed E2E attainment of
+            degraded windows (outages included; 1.0 when never degraded);
+            ``attainment_healthy`` — same over fault-free windows;
+            ``post_recovery_attainment`` — mean attainment from the last
+            recovery-triggered replan onwards (1.0 when none happened);
+            ``num_failure_replans`` / ``num_recovery_replans`` — windows whose
+            start installed a fault-triggered plan; ``mean_time_to_replan_s``
+            — mean delay from a capacity loss taking effect to the next
+            successful replan (0 when replanned at the same boundary);
+            ``mean_mttr_s`` — mean time between a capacity-loss event and the
+            recovery event that revived its GPUs.
+        """
+        windows = self.windows
+        degraded = [w.attainment_e2e for w in windows if w.degraded]
+        healthy = [w.attainment_e2e for w in windows if not w.degraded]
+        recovery_indices = [w.index for w in windows if w.replan_trigger == "recovery"]
+        post = [
+            w.attainment_e2e
+            for w in windows
+            if recovery_indices and w.index >= recovery_indices[-1]
+        ]
+        time_to_replan = [
+            float(e["replanned_at"]) - float(e["applied_at"])  # type: ignore[arg-type]
+            for e in self.fault_log
+            if e.get("replan_ok") and "replanned_at" in e
+        ]
+        loss_kinds = {"gpu_preemption", "node_crash"}
+        mttr: List[float] = []
+        for i, entry in enumerate(self.fault_log):
+            if entry["kind"] != "recovery":
+                continue
+            revived = set(entry["gpu_ids"])  # type: ignore[arg-type]
+            for prior in reversed(self.fault_log[:i]):
+                if prior["kind"] in loss_kinds and revived & set(prior["gpu_ids"]):  # type: ignore[arg-type]
+                    mttr.append(float(entry["time"]) - float(prior["time"]))  # type: ignore[arg-type]
+                    break
+
+        def _mean(values: List[float], default: float) -> float:
+            return float(np.mean(values)) if values else default
+
+        return {
+            "outage_windows": float(sum(1 for w in windows if w.outage)),
+            "degraded_windows": float(len(degraded)),
+            "attainment_under_failure": _mean(degraded, 1.0),
+            "attainment_healthy": _mean(healthy, 1.0),
+            "post_recovery_attainment": _mean(post, 1.0),
+            "num_failure_replans": float(
+                sum(1 for w in windows if w.replan_trigger == "failure")
+            ),
+            "num_recovery_replans": float(
+                sum(1 for w in windows if w.replan_trigger == "recovery")
+            ),
+            "mean_time_to_replan_s": _mean(time_to_replan, 0.0),
+            "mean_mttr_s": _mean(mttr, 0.0),
+        }
+
     def to_dicts(self) -> List[Dict[str, object]]:
         """Return the windowed telemetry stream as JSON-serialisable dicts."""
         return [w.to_dict() for w in self.windows]
+
+
+@dataclass
+class _FaultSync:
+    """Outcome of syncing one window boundary's fault events into the system."""
+
+    #: human-readable descriptions of the events applied at this boundary
+    descriptions: Tuple[str, ...] = ()
+    #: replan installed at this boundary ("" / "failure" / "recovery")
+    trigger: str = ""
+    #: True when no servable plan exists (outage, or every replan failed)
+    unservable: bool = False
+    #: True when any fault is currently active
+    degraded: bool = False
+    #: GPUs alive after applying the boundary's events
+    num_alive: int = -1
+    #: True when every GPU is removed (total capacity loss)
+    outage: bool = False
+
+
+def _merge_sync(carried: "_FaultSync", current: "_FaultSync") -> "_FaultSync":
+    """Fold a fault sync carried over empty windows into the current one."""
+    return _FaultSync(
+        descriptions=carried.descriptions + current.descriptions,
+        trigger=current.trigger or carried.trigger,
+        unservable=current.unservable,
+        degraded=current.degraded,
+        num_alive=current.num_alive,
+        outage=current.outage,
+    )
 
 
 class LiveServer:
@@ -327,6 +523,18 @@ class LiveServer:
         self.on_window = on_window
         self.on_breach = on_breach
         self.tracker = SLOBreachTracker()
+        # Fault-injection loop state (reset at the start of every run).
+        self._fault_state: Optional[ClusterFaultState] = None
+        self._pending_faults: List = []
+        self._fault_log: List[Dict[str, object]] = []
+        self._awaiting_replan: List[Dict[str, object]] = []
+        self._carry_sync: Optional[_FaultSync] = None
+        self._last_window: Optional[Trace] = None
+        self._replan_failures = 0
+        self._replan_cooldown = 0
+        self._unservable = False
+        self._system_stale = False
+        self._degraded_now = False
 
     # ------------------------------------------------------------------ estimation
     def _routing(self, plan: DeploymentPlan) -> RoutingPolicy:
@@ -411,10 +619,15 @@ class LiveServer:
         When the estimated utilisation exceeds ``admission_max_rho``, requests
         are shed with a deterministic deficit counter so the admitted fraction
         tracks ``admission_max_rho / rho`` exactly (no sampling noise), and the
-        shed requests are recorded on the coordinator.  Returns the admitted
-        sub-trace and the number of shed requests.
+        shed requests are recorded on the coordinator.  While an injected
+        fault is active and ``degraded_admission_max_rho`` is configured, the
+        tighter of the two ceilings applies (graceful degradation).  Returns
+        the admitted sub-trace and the number of shed requests.
         """
         max_rho = self.config.admission_max_rho
+        degraded_rho = self.config.degraded_admission_max_rho
+        if self._degraded_now and degraded_rho is not None:
+            max_rho = degraded_rho if max_rho is None else min(max_rho, degraded_rho)
         if max_rho is None or health.rho <= max_rho or health.rho <= 0:
             return window, 0
         keep_fraction = max_rho / health.rho
@@ -486,6 +699,22 @@ class LiveServer:
         config = self.config
         slo_config = config.slo_config or auto_slo_config()
         system.require_plan()
+        self._fault_state = None
+        self._pending_faults = []
+        self._fault_log = []
+        self._awaiting_replan = []
+        self._carry_sync = None
+        self._last_window = None
+        self._replan_failures = 0
+        self._replan_cooldown = 0
+        self._unservable = False
+        self._system_stale = False
+        self._degraded_now = False
+        if config.faults is not None and len(config.faults) > 0:
+            # Times are checked per window; validate ids/counts up front.
+            config.faults.validate(float("inf"), system.cluster)
+            self._fault_state = ClusterFaultState(system.cluster)
+            self._pending_faults = list(config.faults)
         if trace.is_empty:
             return
         start = trace[0].arrival_time
@@ -496,7 +725,22 @@ class LiveServer:
             window_end = window_start + config.window_s
             window = trace.window(window_start, window_end)
             window_start = window_end
+            sync = self._apply_due_faults(window_end, label)
+            if sync is not None and self._carry_sync is not None:
+                sync = _merge_sync(self._carry_sync, sync)
+                self._carry_sync = None
             if window.is_empty:
+                self._carry_sync = sync
+                continue
+            self._degraded_now = bool(sync is not None and sync.degraded)
+            if sync is not None and sync.unservable:
+                telemetry, result, served_plan = self._outage_window(
+                    index, window_end - config.window_s, window_end, window, sync, label
+                )
+                if self.on_window is not None:
+                    self.on_window(telemetry)
+                yield telemetry, result, served_plan
+                index += 1
                 continue
             served_plan = system.require_plan()
             served_plan_id = plan_signature(served_plan)
@@ -508,6 +752,11 @@ class LiveServer:
                 index, window_end - config.window_s, window_end, result, health,
                 num_shed, served_plan_id,
             )
+            if sync is not None:
+                telemetry.faults = sync.descriptions
+                telemetry.degraded = sync.degraded
+                telemetry.num_gpus_alive = sync.num_alive
+                telemetry.replan_trigger = sync.trigger
             profile, objectives = resolve_slo_objectives(slo_config, telemetry.snapshot())
             telemetry.profile = profile
             report = evaluate_slo_objectives(telemetry.snapshot(), objectives, profile=profile)
@@ -519,10 +768,189 @@ class LiveServer:
                 if self.on_breach is not None:
                     self.on_breach(event)
             telemetry.plan_changed = self._adapt(events, admitted, label)
+            self._last_window = admitted
             if self.on_window is not None:
                 self.on_window(telemetry)
             yield telemetry, result, served_plan
             index += 1
+
+    # ------------------------------------------------------------------ faults
+    def _apply_due_faults(self, window_end: float, label: str) -> Optional[_FaultSync]:
+        """Fold fault events due before ``window_end`` into the serving system.
+
+        Events are applied through the :class:`ClusterFaultState` (idempotent
+        against overlapping fail/recover sequences), the system's cluster,
+        network and straggler view is re-synced, and capacity changes trigger
+        the failure/recovery replan chain.  Returns ``None`` when fault
+        injection is off.
+        """
+        state = self._fault_state
+        if state is None:
+            return None
+        system = self.system
+        config = self.config
+        window_start = window_end - config.window_s
+        descriptions: List[str] = []
+        lost: set = set()
+        gained: set = set()
+        network_changed = False
+        slowdown_changed = False
+        while self._pending_faults and self._pending_faults[0].time < window_end:
+            event = self._pending_faults.pop(0)
+            delta = state.apply(event)
+            descriptions.append(event.describe())
+            lost.update(delta.removed)
+            gained.update(delta.revived)
+            network_changed = network_changed or delta.network_changed
+            slowdown_changed = slowdown_changed or delta.slowdown_changed
+            entry: Dict[str, object] = {
+                "time": event.time,
+                "kind": event.kind.value,
+                "gpu_ids": list(event.gpu_ids),
+                "applied_at": window_start,
+                "replan_trigger": "",
+                "replan_ok": False,
+            }
+            self._fault_log.append(entry)
+            if event.kind in CAPACITY_LOSS_KINDS and delta.removed:
+                self._awaiting_replan.append(entry)
+        if state.outage:
+            # Total loss: nothing to sync the system against; windows are
+            # recorded as zero-attainment outages until capacity recovers.
+            self._unservable = True
+            self._system_stale = True
+            return _FaultSync(
+                descriptions=tuple(descriptions),
+                unservable=True,
+                degraded=True,
+                num_alive=0,
+                outage=True,
+            )
+        was_unservable = self._unservable
+        if lost or gained or network_changed or self._system_stale:
+            cluster = state.current_cluster()
+            if cluster is not None:
+                system.set_cluster(
+                    cluster,
+                    reason="fault injection: "
+                    + ("; ".join(descriptions) or "re-sync after outage"),
+                )
+        if slowdown_changed or self._system_stale:
+            system.apply_gpu_slowdowns(state.active_slowdowns(), reason="fault injection")
+        self._system_stale = False
+        trigger = ""
+        if lost or was_unservable:
+            modes = (
+                config.failure_mode_order if config.reschedule_on_failure else ("none",)
+            )
+            reason = (
+                f"fault injection ({'; '.join(descriptions)})"
+                if descriptions
+                else "fault injection (replan retry)"
+            )
+            if self._attempt_replan(modes, reason, validate_window=None):
+                trigger = "failure"
+        elif gained and config.reschedule_on_recovery:
+            validate_window = self._last_window if config.validate_reschedule else None
+            reason = f"capacity recovery ({'; '.join(descriptions)})"
+            if self._attempt_replan((config.recovery_mode,), reason, validate_window):
+                trigger = "recovery"
+        plan = system.require_plan()
+        alive = set(system.cluster.gpu_ids)
+        self._unservable = not all(set(g.gpu_ids) <= alive for g in plan.groups)
+        if trigger == "failure" and not self._unservable:
+            for entry in self._awaiting_replan:
+                entry["replan_trigger"] = trigger
+                entry["replan_ok"] = True
+                entry["replanned_at"] = window_start
+            self._awaiting_replan = []
+        return _FaultSync(
+            descriptions=tuple(descriptions),
+            trigger=trigger,
+            unservable=self._unservable,
+            degraded=state.degraded,
+            num_alive=len(alive),
+            outage=False,
+        )
+
+    def _attempt_replan(
+        self, modes: Tuple[str, ...], reason: str, validate_window: Optional[Trace]
+    ) -> bool:
+        """Try capacity-replan strategies in order, with bounded retry/backoff.
+
+        Returns ``True`` when a new plan was installed.  A strategy that
+        raises :class:`~repro.core.exceptions.SchedulingError` (or yields an
+        unservable plan, :class:`~repro.core.exceptions.InvalidPlanError`)
+        falls through to the next; when every strategy fails, the consecutive-failure
+        counter advances and — after ``replan_max_retries`` failures — replan
+        attempts are suppressed for ``replan_backoff_windows`` boundaries.
+        """
+        if self._replan_cooldown > 0:
+            self._replan_cooldown -= 1
+            return False
+        system = self.system
+        for mode in modes:
+            try:
+                installed = system.replan_capacity(
+                    mode=mode, reason=reason, validate_on=validate_window
+                )
+            except (SchedulingError, InvalidPlanError):
+                continue
+            self._replan_failures = 0
+            return installed is not None
+        self._replan_failures += 1
+        if self._replan_failures >= self.config.replan_max_retries:
+            self._replan_cooldown = self.config.replan_backoff_windows
+            self._replan_failures = 0
+        return False
+
+    def _outage_window(
+        self,
+        index: int,
+        start: float,
+        end: float,
+        window: Trace,
+        sync: _FaultSync,
+        label: str,
+    ) -> Tuple[WindowTelemetry, SimulationResult, DeploymentPlan]:
+        """Record one window that arrived while no servable capacity existed.
+
+        Every arrival is logged as an outage drop on the coordinator and
+        becomes an unfinished :class:`~repro.core.types.RequestMetrics` (an
+        SLO miss), so the window reports attainment 0 without aborting the
+        run; SLO objectives still resolve and breach events still fire.
+        """
+        system = self.system
+        slo_config = self.config.slo_config or auto_slo_config()
+        coordinator = system.coordinator
+        metrics = []
+        for request in window:
+            if coordinator is not None:
+                coordinator.record_outage_drop(request)
+            metrics.append(RequestMetrics(request=request))
+        arrivals = [r.arrival_time for r in window]
+        result = SimulationResult(
+            metrics=metrics,
+            makespan=end,
+            trace_duration=(max(arrivals) - min(arrivals)) if len(arrivals) >= 2 else 0.0,
+            label=f"{label}[{index}]",
+        )
+        rate = result.num_requests / (end - start) if end > start else 0.0
+        health = PlanHealth(rho=0.0, attainment=0.0, request_rate=rate)
+        telemetry = self._measure(index, start, end, result, health, 0, "")
+        telemetry.outage = True
+        telemetry.degraded = True
+        telemetry.faults = sync.descriptions
+        telemetry.num_gpus_alive = sync.num_alive
+        profile, objectives = resolve_slo_objectives(slo_config, telemetry.snapshot())
+        telemetry.profile = profile
+        report = evaluate_slo_objectives(telemetry.snapshot(), objectives, profile=profile)
+        events = self.tracker.update(report, time=end, window_index=index, context=label)
+        telemetry.breaches = tuple(events)
+        for event in events:
+            if self.on_breach is not None:
+                self.on_breach(event)
+        return telemetry, result, system.require_plan()
 
     def _adapt(self, events: List[BreachEvent], window: Trace, label: str) -> bool:
         """Run the online rescheduling policy after one window; return whether the plan changed."""
@@ -575,6 +1003,7 @@ class LiveServer:
             served_plans=plans,
             breaches=breaches,
             label=label,
+            fault_log=list(self._fault_log),
         )
 
     async def stream(self, trace: Trace, label: str = "live", time_warp: float = 0.0):

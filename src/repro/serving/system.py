@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
 from repro.core.exceptions import SchedulingError
 from repro.core.types import SLOSpec, SLOType
@@ -328,23 +328,75 @@ class ThunderServe:
         installs = sum(1 for e in self.events if e.kind == "plan_installed")
         return max(0, installs - 1)
 
-    # ------------------------------------------------------------------ failures
-    def handle_gpu_failure(
-        self, failed_gpu_ids: Sequence[int], mode: str = "lightweight"
-    ) -> DeploymentPlan:
-        """React to GPU failures.
+    # ------------------------------------------------------------- capacity changes
+    RESCHEDULE_MODES = ("lightweight", "full", "none")
 
-        ``mode`` selects the Figure 11 strategies: ``"lightweight"`` (flip-only
-        rescheduling, no reload), ``"full"`` (re-run the whole scheduler on the
-        surviving GPUs) or ``"none"`` (just drop the affected groups).
+    def set_cluster(self, cluster: Cluster, reason: str = "cluster changed") -> None:
+        """Swap the serving cluster (capacity change, network degradation).
+
+        Invalidates the cached simulator so the next ``serve()`` — and every
+        shadow validation — prices KV transfers and replica latencies against
+        the new cluster's matrices, and rebuilds the heartbeat monitor over
+        the new GPU set.  The installed plan is left untouched: callers that
+        changed capacity must follow up with :meth:`replan_capacity` (or one
+        of the ``handle_gpu_*`` wrappers, which do both).
         """
-        if mode not in ("lightweight", "full", "none"):
-            raise ValueError("mode must be 'lightweight', 'full' or 'none'")
-        plan = self.require_plan()
-        failed = set(failed_gpu_ids)
-        self.cluster = self.cluster.without_gpus(failed)
-        self.monitor = HeartbeatMonitor(self.cluster.gpu_ids)
+        self.cluster = cluster
+        self.monitor = HeartbeatMonitor(cluster.gpu_ids)
+        self._simulator = None
+        self.events.append(ServeEvent(time=time.time(), kind="cluster_changed", detail=reason))
 
+    def apply_gpu_slowdowns(
+        self, slowdowns: Mapping[int, float], reason: str = "straggler update"
+    ) -> bool:
+        """Install per-GPU straggler slowdowns on the serving engine.
+
+        ``slowdowns`` maps GPU id to a latency multiplier; entries of exactly
+        ``1.0`` are dropped.  Serving groups containing a slowed GPU price
+        every latency through the largest multiplier among their GPUs (see
+        :meth:`~repro.simulation.engine.SimulatorConfig.group_slowdown`).
+        Returns ``True`` when the effective configuration changed.
+        """
+        items = tuple(sorted(
+            (int(g), float(s)) for g, s in slowdowns.items() if float(s) != 1.0
+        ))
+        if items == self.simulator_config.gpu_slowdowns:
+            return False
+        self.simulator_config = replace(self.simulator_config, gpu_slowdowns=items)
+        self._simulator = None
+        self.events.append(
+            ServeEvent(time=time.time(), kind="slowdowns_changed", detail=f"{reason}: {items}")
+        )
+        return True
+
+    def replan_capacity(
+        self,
+        mode: str = "lightweight",
+        reason: str = "capacity change",
+        validate_on: Optional[Trace] = None,
+    ) -> Optional[DeploymentPlan]:
+        """Re-plan the deployment for the *current* cluster after a capacity change.
+
+        ``mode`` selects the Figure 11 strategies: ``"lightweight"`` (§3.4
+        flip-only rescheduling, no parameter reload), ``"full"`` (re-run the
+        whole scheduler) or ``"none"`` (drop serving groups that reference
+        unavailable GPUs and keep the rest).  Raises
+        :class:`~repro.core.exceptions.SchedulingError` when the selected
+        strategy cannot produce a servable plan.
+
+        ``validate_on`` shadow-validates the candidate with the same replay
+        guard as :meth:`reschedule_online`, replaying the trace under both
+        plans.  The comparison only runs when the incumbent is still servable
+        on the current cluster (capacity *recovery*; after a loss there is
+        nothing meaningful to replay the incumbent against) and, unlike the
+        breach path, is non-strict: re-expanding onto recovered capacity must
+        not be vetoed by a tie on a quiet window.  A candidate that replays
+        strictly worse is rejected — ``None`` is returned and the incumbent
+        plan stays installed.
+        """
+        if mode not in self.RESCHEDULE_MODES:
+            raise ValueError(f"mode must be one of {self.RESCHEDULE_MODES}, got {mode!r}")
+        plan = self.require_plan()
         if mode == "full":
             result = self.scheduler.schedule(
                 self.cluster, self.model, self.workload, self.request_rate, self.slo
@@ -356,17 +408,69 @@ class ThunderServe:
             )
             new_plan = result.plan
         else:
-            surviving = [g for g in plan.groups if not (set(g.gpu_ids) & failed)]
+            available = set(self.cluster.gpu_ids)
+            surviving = [g for g in plan.groups if set(g.gpu_ids) <= available]
             if not surviving:
-                raise SchedulingError("every serving group lost a GPU; cannot continue without rescheduling")
+                raise SchedulingError(
+                    "every serving group lost a GPU; cannot continue without rescheduling"
+                )
+            if len({g.phase for g in surviving}) < 2:
+                raise SchedulingError(
+                    "surviving groups cover only one phase; cannot continue without rescheduling"
+                )
             new_plan = DeploymentPlan(
                 groups=tuple(surviving),
                 routing=None,
                 model_name=plan.model_name,
                 kv_transport_bits=plan.kv_transport_bits,
             )
-        self._install_plan(new_plan, reason=f"gpu failure ({sorted(failed)}), mode={mode}")
+        if validate_on is not None and not validate_on.is_empty:
+            available = set(self.cluster.gpu_ids)
+            if all(set(g.gpu_ids) <= available for g in plan.groups):
+                incumbent = self._shadow_attainment(plan, validate_on)
+                candidate = self._shadow_attainment(new_plan, validate_on)
+                if candidate < incumbent:
+                    return None
+        self._install_plan(new_plan, reason=f"{reason}, mode={mode}")
         return new_plan
+
+    def handle_gpu_failure(
+        self, failed_gpu_ids: Sequence[int], mode: str = "lightweight"
+    ) -> DeploymentPlan:
+        """React to GPU failures: remove the GPUs, then re-plan.
+
+        ``mode`` selects the Figure 11 strategies: ``"lightweight"`` (flip-only
+        rescheduling, no reload), ``"full"`` (re-run the whole scheduler on the
+        surviving GPUs) or ``"none"`` (just drop the affected groups).
+        """
+        if mode not in self.RESCHEDULE_MODES:
+            raise ValueError(f"mode must be one of {self.RESCHEDULE_MODES}, got {mode!r}")
+        failed = sorted(set(failed_gpu_ids))
+        self.set_cluster(
+            self.cluster.without_gpus(failed), reason=f"gpu failure ({failed})"
+        )
+        return self.replan_capacity(mode=mode, reason=f"gpu failure ({failed})")
+
+    def handle_gpu_recovery(
+        self, recovered_gpu_ids: Sequence[int], mode: str = "full"
+    ) -> DeploymentPlan:
+        """React to capacity recovery: revive removed GPUs, then re-plan.
+
+        The inverse of :meth:`handle_gpu_failure` — previously removed GPUs
+        rejoin by global id (:meth:`~repro.hardware.cluster.Cluster.with_gpus`)
+        and the deployment re-expands onto them.  The default mode is
+        ``"full"``: the §3.4 flip-only rescheduler can re-designate phases of
+        *existing* groups but cannot place new groups on revived GPUs, so
+        recovering capacity without a full scheduler run would leave the
+        rejoined GPUs idle.
+        """
+        if mode not in self.RESCHEDULE_MODES:
+            raise ValueError(f"mode must be one of {self.RESCHEDULE_MODES}, got {mode!r}")
+        recovered = sorted(set(recovered_gpu_ids))
+        self.set_cluster(
+            self.cluster.with_gpus(recovered), reason=f"gpu recovery ({recovered})"
+        )
+        return self.replan_capacity(mode=mode, reason=f"gpu recovery ({recovered})")
 
     # ------------------------------------------------------------------ reporting
     def attainment_curve(

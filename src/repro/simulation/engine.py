@@ -97,6 +97,11 @@ class SimulatorConfig:
     #: "reference" (one heap event per decode step); both produce identical
     #: per-request metrics
     engine: str = "fast"
+    #: per-GPU straggler slowdowns as sorted ``(gpu_id, multiplier)`` pairs; a
+    #: serving group containing a slowed GPU prices every latency through the
+    #: largest multiplier among its GPUs (fault injection plumbs this through
+    #: :meth:`~repro.serving.system.ThunderServe.apply_gpu_slowdowns`)
+    gpu_slowdowns: Tuple[Tuple[int, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.max_prefill_batch_requests < 1:
@@ -105,6 +110,16 @@ class SimulatorConfig:
             raise ValueError("kv_block_size must be >= 1")
         if self.engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        for gpu_id, slowdown in self.gpu_slowdowns:
+            if slowdown <= 0:
+                raise ValueError(f"slowdown for GPU {gpu_id} must be positive")
+
+    def group_slowdown(self, gpu_ids) -> float:
+        """Largest configured slowdown among ``gpu_ids`` (1.0 when none)."""
+        if not self.gpu_slowdowns:
+            return 1.0
+        table = dict(self.gpu_slowdowns)
+        return max((table.get(g, 1.0) for g in gpu_ids), default=1.0)
 
 
 @dataclass
@@ -218,13 +233,19 @@ class ServingSimulator:
                 raise SimulationError(f"prefill group {group.group_id} has no parallel plan")
             self.prefills[group.group_id] = _PrefillReplica(
                 group_id=group.group_id,
-                cost=ReplicaCostModel(cluster, group.plan, model, params),
+                cost=ReplicaCostModel(
+                    cluster, group.plan, model, params,
+                    slowdown=config.group_slowdown(group.gpu_ids),
+                ),
             )
         self.decodes: Dict[int, _DecodeReplica] = {}
         for group in plan.decode_groups:
             if group.plan is None:
                 raise SimulationError(f"decode group {group.group_id} has no parallel plan")
-            cost = ReplicaCostModel(cluster, group.plan, model, params)
+            cost = ReplicaCostModel(
+                cluster, group.plan, model, params,
+                slowdown=config.group_slowdown(group.gpu_ids),
+            )
             capacity_tokens = cost.kv_token_capacity()
             kv = PagedKVCache(
                 num_blocks=max(0, capacity_tokens // config.kv_block_size),

@@ -150,6 +150,99 @@ class TestCompareAgreement:
         assert failures == []
 
 
+def chaos_report(**overrides):
+    payload = {
+        "benchmark": "bench_chaos_recovery",
+        "kind": "chaos_recovery",
+        "mode": "reduced",
+        "deterministic_replay": True,
+        "static_worst": 0.0,
+        "adaptive_worst": 0.3,
+        "failure_replans": 2,
+        "recovery_replans": 2,
+        "attainment_under_failure": 0.42,
+        "post_recovery_attainment": 0.8,
+        "total_loss_outage_windows": 1,
+        "total_loss_error": "",
+        "total_loss_post_attainment_zero": True,
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestCompareChaos:
+    """The chaos gate fails on every injected lifecycle break."""
+
+    def test_healthy_chaos_report_passes(self):
+        failures, warnings = check_regression.compare(chaos_report(), chaos_report())
+        assert failures == []
+        assert warnings == []
+
+    def test_nondeterministic_replay_fails(self):
+        failures, _ = check_regression.compare(
+            chaos_report(), chaos_report(deterministic_replay=False)
+        )
+        assert any("deterministic_replay" in f for f in failures)
+
+    def test_adaptive_below_static_fails(self):
+        failures, _ = check_regression.compare(
+            chaos_report(),
+            chaos_report(adaptive_worst=0.1, static_worst=0.3),
+        )
+        assert any("fell below static" in f for f in failures)
+
+    def test_missing_replans_fail(self):
+        failures, _ = check_regression.compare(
+            chaos_report(), chaos_report(failure_replans=0, recovery_replans=0)
+        )
+        assert any("failure-triggered" in f for f in failures)
+        assert any("recovery-triggered" in f for f in failures)
+
+    def test_no_recovery_after_rejoin_fails(self):
+        failures, _ = check_regression.compare(
+            chaos_report(),
+            chaos_report(post_recovery_attainment=0.2, attainment_under_failure=0.42),
+        )
+        assert any("recover after the rejoin" in f for f in failures)
+
+    def test_total_loss_break_fails(self):
+        failures, _ = check_regression.compare(
+            chaos_report(),
+            chaos_report(
+                total_loss_outage_windows=0,
+                total_loss_error="SchedulingError: boom",
+                total_loss_post_attainment_zero=False,
+            ),
+        )
+        assert any("outage windows" in f for f in failures)
+        assert any("aborted the sweep" in f for f in failures)
+        assert any("unserved" in f for f in failures)
+
+    def test_worst_window_drift_beyond_slack_fails(self):
+        drift = check_regression.CHAOS_DRIFT_SLACK + 0.01
+        failures, _ = check_regression.compare(
+            chaos_report(), chaos_report(adaptive_worst=0.3 + drift)
+        )
+        assert any("drifted" in f for f in failures)
+
+    def test_missing_keys_fail_instead_of_passing_vacuously(self):
+        broken = chaos_report()
+        for key in ("adaptive_worst", "failure_replans", "total_loss_outage_windows"):
+            broken.pop(key)
+        failures, _ = check_regression.compare(chaos_report(), broken)
+        assert failures
+
+    def test_mode_mismatch_fails(self):
+        failures, _ = check_regression.compare(
+            chaos_report(), chaos_report(mode="full")
+        )
+        assert any("mode mismatch" in f for f in failures)
+
+    def test_kind_mismatch_fails(self):
+        failures, _ = check_regression.compare(chaos_report(), agreement_report())
+        assert any("kind mismatch" in f for f in failures)
+
+
 class TestMain:
     def test_healthy_exit_zero(self, tmp_path, capsys):
         base = write(tmp_path / "base.json", report())
@@ -193,6 +286,7 @@ class TestMain:
             "BENCH_simcore_reduced.json",
             "BENCH_prefill_reduced.json",
             "BENCH_estimator_saturation_reduced.json",
+            "BENCH_chaos_recovery_reduced.json",
         ],
     )
     def test_gates_against_the_committed_baseline(self, name):

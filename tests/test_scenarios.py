@@ -375,8 +375,12 @@ def test_request_at_failure_time_served_exactly_once(num_events):
     # exercised without actually killing GPUs, so the serve stays deterministic.
     events = [FailureEvent(time=boundary, gpu_ids=()) for _ in range(num_events)]
     sweep = ScenarioSweep([get_scenario("diurnal", duration=SMOKE_DURATION)], seed=0)
-    result = sweep._serve_with_failures(system, trace, events, label="boundary")
+    result, overhead_s, num_outages = sweep._serve_with_failures(
+        system, trace, events, label="boundary"
+    )
     assert result.num_requests == len(trace)
+    assert overhead_s == 0.0, "no GPUs died, so no replan was priced"
+    assert num_outages == 0
     served_ids = sorted(m.request.request_id for m in result.metrics)
     assert served_ids == [0, 1, 2, 3, 4], "every request served exactly once"
     boundary_metrics = [m for m in result.metrics if m.request.arrival_time == boundary]
