@@ -43,6 +43,17 @@ failure-lifecycle properties instead:
   ``CHAOS_DRIFT_SLACK`` from the committed baseline — the replay is
   deterministic, so only a genuine serving change can move it.
 
+Reports with ``"kind": "megatrace"`` (the million-request streaming benchmark)
+gate the streaming-core contract:
+
+* the subsampled-window spot check must be bitwise-identical between the fast
+  engine and the per-event reference oracle;
+* the streamed trace must fully drain;
+* streamed throughput (requests per second of wall clock) must not fall below
+  ``1 - MEGATRACE_THROUGHPUT_SLACK`` of the committed baseline's — measured as
+  a ratio, so it still moves with runner hardware, which is why the slack is
+  loose (absolute wall clock stays advisory).
+
 **Non-gating** (printed as warnings): absolute wall-clock movements.  Those are
 dominated by runner hardware and CPU steal, so they stay advisory.
 
@@ -88,6 +99,12 @@ GAP_DRIFT_SLACK = 0.03
 #: deterministic end to end, so movement means the serving or rescheduling
 #: behaviour changed and the baseline needs a deliberate regeneration.
 CHAOS_DRIFT_SLACK = 0.05
+
+#: Fractional streamed-throughput loss vs. the committed megatrace baseline
+#: above which the gate fails.  Deliberately loose — throughput is an absolute
+#: wall-clock quantity, so shared-runner noise moves it — but a larger drop
+#: means the streaming fast path itself regressed.
+MEGATRACE_THROUGHPUT_SLACK = 0.60
 
 
 def load_report(path: str) -> Optional[Dict]:
@@ -217,6 +234,60 @@ def compare_chaos(baseline: Dict, fresh: Dict) -> Tuple[List[str], List[str]]:
     return failures, warnings
 
 
+def compare_megatrace(baseline: Dict, fresh: Dict) -> Tuple[List[str], List[str]]:
+    """Gate a million-request streaming report (kind ``megatrace``)."""
+    failures: List[str] = []
+    warnings: List[str] = []
+
+    if not fresh.get("spot_identical", False):
+        failures.append(
+            "spot_identical is false: the fast engine diverged from the "
+            "per-event reference oracle on the subsampled window "
+            "(correctness break, not a perf wobble)"
+        )
+
+    finished = fresh.get("num_finished_fast")
+    requests = fresh.get("num_requests")
+    if not isinstance(finished, int) or not isinstance(requests, int):
+        failures.append(
+            "num_finished_fast/num_requests missing from the fresh report"
+        )
+    elif finished != requests:
+        failures.append(
+            f"streamed trace did not drain: {finished} of {requests} "
+            "requests finished"
+        )
+
+    try:
+        base_rps = float(baseline["requests_per_s"])
+        fresh_rps = float(fresh["requests_per_s"])
+    except (KeyError, TypeError, ValueError):
+        failures.append("requests_per_s missing from baseline or fresh report")
+    else:
+        floor = base_rps * (1.0 - MEGATRACE_THROUGHPUT_SLACK)
+        if fresh_rps < floor:
+            failures.append(
+                f"streamed throughput collapsed: {fresh_rps:,.0f} req/s vs "
+                f"baseline {base_rps:,.0f} req/s (floor {floor:,.0f} req/s); "
+                "if the engine change is intentional, regenerate the baseline"
+            )
+
+    base_wall = baseline.get("t_fast_s")
+    fresh_wall = fresh.get("t_fast_s")
+    if (
+        isinstance(base_wall, (int, float))
+        and isinstance(fresh_wall, (int, float))
+        and base_wall > 0
+        and fresh_wall > WALLCLOCK_WARN_FACTOR * base_wall
+    ):
+        warnings.append(
+            f"streamed wall clock grew {fresh_wall / base_wall:.1f}x "
+            f"({base_wall:.3f}s -> {fresh_wall:.3f}s); non-gating (runner noise)"
+        )
+
+    return failures, warnings
+
+
 def compare(
     baseline: Dict, fresh: Dict, max_regression: float = DEFAULT_MAX_REGRESSION
 ) -> Tuple[List[str], List[str]]:
@@ -236,6 +307,7 @@ def compare(
     special_kinds = {
         "estimator_agreement": compare_agreement,
         "chaos_recovery": compare_chaos,
+        "megatrace": compare_megatrace,
     }
     kinds = (baseline.get("kind"), fresh.get("kind"))
     if any(kind in special_kinds for kind in kinds):
@@ -323,6 +395,13 @@ def check_pair(baseline_path: str, fresh_path: str, max_regression: float) -> in
             f"OK: [{name}] max gap {fresh['max_gap']} / mean gap "
             f"{fresh['mean_gap']} within tolerances "
             f"(mode {fresh.get('mode')!r}), overloaded plan estimates zero"
+        )
+    elif fresh.get("kind") == "megatrace":
+        print(
+            f"OK: [{name}] spot window bitwise-identical, "
+            f"{fresh['num_finished_fast']}/{fresh['num_requests']} drained, "
+            f"{fresh['requests_per_s']:,.0f} req/s "
+            f"(mode {fresh.get('mode')!r})"
         )
     elif fresh.get("kind") == "chaos_recovery":
         print(

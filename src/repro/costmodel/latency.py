@@ -519,6 +519,26 @@ class ReplicaCostModel:
             total = total + pp
         return total * self.slowdown
 
+    def decode_step_memo(self, batch_size: int, context_length: int) -> float:
+        """Memoized scalar decode-step latency, sharing :meth:`decode_step_grid`'s memo.
+
+        The fast simulator's small-epoch path prices one step at a time; going
+        through the shared memo keeps those lookups at dict-get cost and —
+        because :meth:`decode_step_latency` and
+        :meth:`decode_step_latency_array` are bitwise-identical — the cached
+        values agree with the vectorized path no matter which filled them.
+        """
+        memo = self._decode_step_memo
+        key = (batch_size, context_length)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        value = self.decode_step_latency(batch_size, context_length)
+        if len(memo) >= DECODE_STEP_MEMO_MAX:
+            memo.clear()
+        memo[key] = value
+        return value
+
     def decode_step_grid(
         self, batch_sizes: np.ndarray, context_lengths: np.ndarray
     ) -> np.ndarray:

@@ -12,22 +12,34 @@ The simulator replays a request trace against a :class:`DeploymentPlan`:
    pending requests while KV-cache memory allows, then advances every active
    sequence by one token.
 
-The per-request :class:`RequestMetrics` collected here are what the end-to-end
-experiments (Figures 7–9, 11, 12, Tables 5 and 8) aggregate.
+The per-request metrics collected here are what the end-to-end experiments
+(Figures 7–9, 11, 12, Tables 5 and 8) aggregate.
 
 Two engines implement the same semantics:
 
-* ``engine="fast"`` (the default) vectorizes **both phases**.
+* ``engine="fast"`` (the default) keeps the whole request lifecycle in
+  **struct-of-arrays form**: requests are integer rows into preallocated numpy
+  columns (ids, arrival times, lengths, routing targets, and the metric
+  timestamps), so no per-request Python object is created on the fast path.
+  Traces are ingested chunk by chunk — :meth:`ServingSimulator.run_stream`
+  accepts any iterator of :class:`~repro.workload.trace.RequestArrays` blocks,
+  bounding memory by the chunk size — and arrivals are driven by a cursor over
+  the ingested columns instead of one heap event per request.
 
-  On the decode side it keeps per-replica struct-of-arrays state (context
-  lengths and remaining tokens as numpy arrays) and **coalesces decode steps
-  into epochs**: while a replica's batch membership cannot change (no completion
-  due, nothing newly admitted), the per-step latencies of the whole jump are
-  priced in one vectorized call against the memoized
-  :meth:`~repro.costmodel.latency.ReplicaCostModel.decode_step_grid` and a
-  single wake event replaces thousands of per-token heap events.  A KV arrival
-  mid-epoch truncates the epoch at the first step boundary after the arrival,
-  exactly where the per-event engine would admit the request.
+  On the decode side it keeps per-replica struct-of-arrays state (rows sorted
+  by remaining tokens) and **coalesces decode steps into epochs**: the batch
+  composition is constant until the earliest completion, so the per-step
+  latencies up to ``min(first completion, budget)`` are priced in one
+  vectorized call against the memoized
+  :meth:`~repro.costmodel.latency.ReplicaCostModel.decode_step_grid` (a scalar
+  memo path serves very short epochs) and a single wake event replaces
+  thousands of per-token heap events.  A KV arrival mid-epoch truncates the
+  epoch at the first step boundary after the arrival, exactly where the
+  per-event engine would admit the request — and when nothing was admitted at
+  a truncated boundary, the **surviving suffix of the old plan is reused**
+  verbatim instead of re-pricing it (the remaining step times are a pure
+  function of unchanged batch state).  The per-epoch step budget adapts to the
+  interruption rate, doubling on quiet replicas and shrinking on busy ones.
 
   On the prefill side it **coalesces queued batches into epochs**: when a
   replica picks up work, the whole queue is chunked into multi-request batches
@@ -36,17 +48,19 @@ Two engines implement the same semantics:
   :meth:`~repro.costmodel.latency.ReplicaCostModel.prefill_latency_grid`, and
   the per-batch completion times plus every KV-transfer handoff are computed in
   a single numpy pass up front.  A new arrival on the replica truncates the
-  epoch at the first batch that has not yet started (re-queueing its requests),
+  epoch at the first batch that has not yet started (re-queueing its rows),
   exactly where the per-event engine would re-form batches.  The resulting KV
   transfers are emitted as **coalesced arrival batches** (one ``KV_BATCH``
   cursor per (prefill batch, decode replica) instead of one heap event per
   request) that feed the decode epochs in exact per-request arrival order.
 
 * ``engine="reference"`` retains the original per-event implementation: one
-  ``PREFILL_DONE`` heap event per prefill batch, one ``KV_ARRIVED`` event per
-  request and one heap event per decode step.  It is the ground truth the
-  equivalence suite (``tests/test_engine_equivalence.py``) and the
-  ``bench_simulator_core`` / ``bench_prefill_core`` benchmarks compare against:
+  ``ARRIVAL`` heap event per request, one ``PREFILL_DONE`` event per prefill
+  batch, one ``KV_ARRIVED`` event per request and one heap event per decode
+  step, with per-request :class:`~repro.core.types.RequestMetrics` objects.
+  It is the ground truth the equivalence suite
+  (``tests/test_engine_equivalence.py``) and the ``bench_simulator_core`` /
+  ``bench_prefill_core`` / ``bench_megatrace`` benchmarks compare against:
   both engines produce bitwise-identical per-request metrics.
 """
 
@@ -54,13 +68,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.exceptions import SimulationError
-from repro.core.rng import RNGLike, ensure_rng
-from repro.core.types import Phase, Request, RequestMetrics
+from repro.core.rng import ensure_rng
+from repro.core.types import Request, RequestMetrics
 from repro.costmodel.kv_transfer import kv_transfer_seconds
 from repro.costmodel.latency import (
     CostModelParams,
@@ -74,11 +88,19 @@ from repro.kvcache.paged import PagedKVCache
 from repro.model.architecture import ModelConfig
 from repro.scheduling.deployment import DeploymentPlan, RoutingPolicy
 from repro.simulation.events import Event, EventKind, EventQueue
-from repro.simulation.metrics import SimulationResult
-from repro.workload.trace import Trace
+from repro.simulation.metrics import MetricArrays, SimulationResult
+from repro.workload.trace import RequestArrays, Trace
 
 #: valid decode-engine selectors of :class:`SimulatorConfig`
 ENGINES = ("fast", "reference")
+
+#: decode epoch budget floor: epochs shrink to this many steps under pressure
+_MIN_EPOCH_BUDGET = 16
+#: decode epoch budget ceiling: quiet replicas coalesce up to this many steps
+_MAX_EPOCH_BUDGET = 4096
+#: epochs at most this long are priced through the scalar memo, skipping the
+#: fixed cost of the vectorized grid path
+_SMALL_EPOCH_STEPS = 16
 
 
 @dataclass(frozen=True)
@@ -126,27 +148,33 @@ class SimulatorConfig:
 class _PrefillReplica:
     """Run-time state of one prefill replica.
 
-    The reference engine only uses ``queue`` / ``busy`` (batches are re-formed
-    at every ``PREFILL_DONE``); the fast engine additionally carries the state
-    of the current coalesced prefill epoch: the planned batches, their
-    precomputed start/completion times, the precomputed KV-transfer handoffs of
-    every batch, and the truncation bookkeeping.
+    The reference engine only uses ``queue`` / ``busy`` (the queue holds
+    :class:`Request` objects and batches are re-formed at every
+    ``PREFILL_DONE``); the fast engine queues integer request rows and
+    additionally carries the state of the current coalesced prefill epoch: the
+    planned batch rows and their offsets, precomputed start/completion times,
+    the precomputed KV-transfer handoffs of every batch, and the truncation
+    bookkeeping.
     """
 
     group_id: int
     cost: ReplicaCostModel
-    queue: Deque[Request] = field(default_factory=deque)
+    #: FIFO queue: request rows (fast engine) or :class:`Request` objects
+    #: (reference engine)
+    queue: Deque = field(default_factory=deque)
     busy: bool = False
     # ---- fast engine coalesced-epoch state ----
-    #: batches of the current epoch, in execution order
-    epoch_batches: List[List[Request]] = field(default_factory=list)
+    #: rows of every batch of the current epoch, concatenated in execution order
+    epoch_rows: Optional[np.ndarray] = None
+    #: batch ``k`` spans ``epoch_rows[epoch_offsets[k]:epoch_offsets[k + 1]]``
+    epoch_offsets: Optional[np.ndarray] = None
     #: absolute start time of every planned batch
     epoch_starts: Optional[np.ndarray] = None
     #: absolute completion time of every planned batch
     epoch_dones: Optional[np.ndarray] = None
-    #: per batch: coalesced KV handoffs as (decode group, requests sorted by
+    #: per batch: coalesced KV handoffs as (decode group, rows sorted by
     #: arrival, arrival times) — precomputed in one numpy pass at plan time
-    epoch_kv: List[List[Tuple[int, List[Request], np.ndarray]]] = field(default_factory=list)
+    epoch_kv: List[List[Tuple[int, np.ndarray, np.ndarray]]] = field(default_factory=list)
     #: number of leading batches still valid (arrival truncation shortens this)
     epoch_cut: int = 0
     #: epoch generation counter; batch events carrying an older value are stale
@@ -160,12 +188,12 @@ class _KVBatch:
     Replaces one ``KV_ARRIVED`` heap event per request with a single ``KV_BATCH``
     event whose handler drains arrivals in order, yielding back to the heap
     (via :meth:`EventQueue.repush` under its original sequence number, so
-    exact-time ties keep their per-event ordering) whenever another event is
-    due first.
+    exact-time ties keep their per-event ordering) whenever another event — or
+    a not-yet-ingested trace arrival — is due first.
     """
 
     decode_id: int
-    requests: List[Request]
+    rows: np.ndarray
     times: np.ndarray
     #: index of the next undelivered arrival
     pos: int = 0
@@ -177,14 +205,19 @@ def _empty_ids() -> np.ndarray:
     return np.empty(0, dtype=np.int64)
 
 
+def _empty_times() -> np.ndarray:
+    return np.empty(0, dtype=np.float64)
+
+
 @dataclass
 class _DecodeReplica:
     """Run-time state of one decode replica.
 
     The reference engine tracks the running batch in ``active`` (request_id ->
-    [context, remaining]); the fast engine keeps the same information as
-    struct-of-arrays (``ids`` / ``ctx`` / ``rem``) plus the precomputed step
-    boundary times of the current coalesced epoch.
+    [context, remaining]) and queues :class:`Request` objects in ``pending``;
+    the fast engine queues request rows and keeps the batch as struct-of-arrays
+    (``rows`` / ``ctx`` / ``rem``, sorted ascending by remaining tokens) plus
+    the precomputed step boundary times of the current coalesced epoch.
     """
 
     group_id: int
@@ -193,18 +226,31 @@ class _DecodeReplica:
     max_batch: int
     #: request_id -> [current context length, remaining tokens] (reference engine)
     active: Dict[int, List[int]] = field(default_factory=dict)
-    pending: Deque[Request] = field(default_factory=deque)
+    #: admission queue: request rows (fast engine) or :class:`Request` objects
+    #: (reference engine)
+    pending: Deque = field(default_factory=deque)
     stepping: bool = False
-    # ---- fast engine struct-of-arrays state ----
-    ids: np.ndarray = field(default_factory=_empty_ids)
+    # ---- fast engine struct-of-arrays state (sorted ascending by ``rem``) ----
+    rows: np.ndarray = field(default_factory=_empty_ids)
     ctx: np.ndarray = field(default_factory=_empty_ids)
     rem: np.ndarray = field(default_factory=_empty_ids)
     #: absolute times of the current epoch's step boundaries (b_1 .. b_K)
     epoch_times: Optional[np.ndarray] = None
+    #: number of steps the epoch was planned with
+    epoch_len: int = 0
     #: number of steps the scheduled wake will apply (truncation shortens this)
     epoch_cut: int = 0
     #: epoch generation counter; wake events carrying an older value are stale
     epoch_seq: int = 0
+    #: adaptive per-epoch step cap (doubles on quiet replicas, shrinks when
+    #: arrivals keep truncating epochs)
+    epoch_budget: int = _MIN_EPOCH_BUDGET
+
+
+#: int64 request columns grown together by :meth:`ServingSimulator._ensure_capacity`
+_INT_COLUMNS = ("_req_id", "_inlen", "_outlen", "_pre_rep", "_dec_rep")
+#: float64 request columns grown together (arrival plus metric timestamps)
+_FLOAT_COLUMNS = ("_arr", "_m_pstart", "_m_first", "_m_kvdone", "_m_comp")
 
 
 class ServingSimulator:
@@ -225,7 +271,6 @@ class ServingSimulator:
         self.model = model
         self.params = params
         self.config = config
-        self._rng = ensure_rng(config.seed)
 
         self.prefills: Dict[int, _PrefillReplica] = {}
         for group in plan.prefill_groups:
@@ -280,12 +325,9 @@ class ServingSimulator:
             )
         self._y_norm = y / np.where(row_sums > 0, row_sums, 1.0)
         self._y_cdf = np.cumsum(self._y_norm, axis=1)
+        self._pgid_arr = np.asarray(self.routing.prefill_group_ids, dtype=np.int64)
+        self._dgid_arr = np.asarray(self.routing.decode_group_ids, dtype=np.int64)
 
-        self._events = EventQueue()
-        self._metrics: Dict[int, RequestMetrics] = {}
-        self._prefill_start: Dict[int, float] = {}
-        self._decode_target: Dict[int, int] = {}
-        self._clock = 0.0
         self._fast = config.engine == "fast"
         #: KV-transport bytes per prompt token at the plan's precision — the
         #: constant factor of every transfer the fast engine prices vectorized
@@ -295,6 +337,77 @@ class ServingSimulator:
         #: (prefill group, decode group) -> (alpha, beta) of the best link, or
         #: ``None`` for co-located pairs (zero-cost transfer); lazily filled
         self._kv_links: Dict[Tuple[int, int], Optional[Tuple[float, float]]] = {}
+        self._reset_fast_state()
+
+    # ------------------------------------------------------------------ reset
+    def _reset_replicas(self) -> None:
+        """Reset run-scoped shared state (RNG, events, clock, replica queues)."""
+        self._rng = ensure_rng(self.config.seed)
+        self._events = EventQueue()
+        self._metrics: Dict[int, RequestMetrics] = {}
+        self._prefill_start: Dict[int, float] = {}
+        self._decode_target: Dict[int, int] = {}
+        self._clock = 0.0
+        for replica in self.prefills.values():
+            replica.queue.clear()
+            replica.busy = False
+            replica.epoch_rows = None
+            replica.epoch_offsets = None
+            replica.epoch_starts = None
+            replica.epoch_dones = None
+            replica.epoch_kv = []
+            replica.epoch_cut = 0
+            replica.epoch_seq = 0
+        for replica in self.decodes.values():
+            replica.active.clear()
+            replica.pending.clear()
+            replica.kv.reset()
+            replica.stepping = False
+            replica.rows = _empty_ids()
+            replica.ctx = _empty_ids()
+            replica.rem = _empty_ids()
+            replica.epoch_times = None
+            replica.epoch_len = 0
+            replica.epoch_cut = 0
+            replica.epoch_seq = 0
+            replica.epoch_budget = _MIN_EPOCH_BUDGET
+
+    def _reset_fast_state(self) -> None:
+        """Reset the struct-of-arrays request store for a fresh fast run."""
+        self._reset_replicas()
+        self._cap = 0
+        self._n = 0
+        self._cursor = 0
+        for name in _INT_COLUMNS:
+            setattr(self, name, _empty_ids())
+        for name in _FLOAT_COLUMNS:
+            setattr(self, name, _empty_times())
+        self._m_fin = np.empty(0, dtype=bool)
+        self._workload_spans: List[Tuple[int, str]] = []
+        self._chunk_iter: Optional[Iterator[RequestArrays]] = None
+        self._chunks_done = True
+
+    def _ensure_capacity(self, extra: int) -> None:
+        """Grow the request columns to hold ``extra`` more rows (doubling)."""
+        need = self._n + extra
+        if need <= self._cap:
+            return
+        cap = max(1024, self._cap or 1)
+        while cap < need:
+            cap *= 2
+        n = self._n
+        for name in _INT_COLUMNS:
+            new = np.zeros(cap, dtype=np.int64)
+            new[:n] = getattr(self, name)[:n]
+            setattr(self, name, new)
+        for name in _FLOAT_COLUMNS:
+            new = np.zeros(cap, dtype=np.float64)
+            new[:n] = getattr(self, name)[:n]
+            setattr(self, name, new)
+        new_fin = np.zeros(cap, dtype=bool)
+        new_fin[:n] = self._m_fin[:n]
+        self._m_fin = new_fin
+        self._cap = cap
 
     # ------------------------------------------------------------------ dispatch
     def _choose_pair(self) -> Tuple[int, int]:
@@ -302,7 +415,9 @@ class ServingSimulator:
 
         Inverse-CDF sampling against the precomputed cumulative tables; one
         uniform draw per level instead of a full ``rng.choice`` with its per-call
-        probability validation.
+        probability validation.  The fast engine consumes the identical draws
+        two-per-request in ingestion order, vectorized per chunk
+        (:meth:`_load_chunk`).
         """
         i = int(np.searchsorted(self._x_cdf, self._rng.random(), side="right"))
         i = min(i, self._x_cdf.size - 1)
@@ -319,41 +434,120 @@ class ServingSimulator:
         simulator instance can be reused across traces (e.g. the windowed serving
         of failure scenarios) with results identical to a freshly built one.
         """
-        self._rng = ensure_rng(self.config.seed)
-        self._events = EventQueue()
-        self._metrics = {}
-        self._prefill_start = {}
-        self._decode_target = {}
-        self._clock = 0.0
-        for replica in self.prefills.values():
-            replica.queue.clear()
-            replica.busy = False
-            replica.epoch_batches = []
-            replica.epoch_starts = None
-            replica.epoch_dones = None
-            replica.epoch_kv = []
-            replica.epoch_cut = 0
-            replica.epoch_seq = 0
-        for replica in self.decodes.values():
-            replica.active.clear()
-            replica.pending.clear()
-            replica.kv.reset()
-            replica.stepping = False
-            replica.ids = _empty_ids()
-            replica.ctx = _empty_ids()
-            replica.rem = _empty_ids()
-            replica.epoch_times = None
-            replica.epoch_cut = 0
-            replica.epoch_seq = 0
+        if not self._fast:
+            return self._run_reference(trace, label)
+        self._reset_fast_state()
+        self._ensure_capacity(len(trace))
+        return self._run_fast(
+            iter((trace.arrays(),)),
+            requests=trace.requests,
+            trace_duration=trace.duration,
+            label=label,
+        )
 
-        for request in trace:
-            self._events.push(Event(time=request.arrival_time, kind=EventKind.ARRIVAL, payload=request))
+    def run_stream(
+        self,
+        chunks: Iterable[RequestArrays],
+        label: str = "thunderserve",
+    ) -> SimulationResult:
+        """Replay a streamed trace of arrival-ordered request chunks.
 
-        fast = self.config.engine == "fast"
+        The fast engine ingests one chunk at a time, so peak memory is bounded
+        by the chunk size plus the per-request metric columns — a
+        million-request trace never materializes request objects.  Chunks must
+        be time-ordered end to end (each chunk's first arrival at or after the
+        previous chunk's last), as produced by
+        :meth:`~repro.workload.generator.PoissonArrivalGenerator.iter_chunks`.
+        The result is bitwise-identical to :meth:`run` on the concatenated
+        trace.
+
+        The reference engine has no streaming path: it concatenates the chunks
+        into a full in-memory trace first (per-chunk workload tags may collapse
+        to ``"mixed"`` on heterogeneous streams), which defeats the memory
+        bound but preserves the oracle semantics for equivalence checks.
+        """
+        if not self._fast:
+            return self._run_reference(RequestArrays.concat(list(chunks)).to_trace(), label)
+        self._reset_fast_state()
+        return self._run_fast(iter(chunks), requests=None, trace_duration=None, label=label)
+
+    # ------------------------------------------------------------------ fast loop
+    def _load_chunk(self) -> None:
+        """Ingest the next non-empty chunk into the request columns.
+
+        Copies the four request columns, then assigns routing targets for the
+        whole chunk in one vectorized pass consuming exactly the scalar draws
+        :meth:`_choose_pair` would: two uniforms per request, interleaved in
+        ingestion order.
+        """
+        assert self._chunk_iter is not None
+        while True:
+            try:
+                chunk = next(self._chunk_iter)
+            except StopIteration:
+                self._chunks_done = True
+                return
+            if len(chunk):
+                break
+        c = len(chunk)
+        n = self._n
+        if n and float(chunk.arrival_time[0]) < float(self._arr[n - 1]):
+            raise SimulationError("streamed chunks must be time-ordered end to end")
+        self._ensure_capacity(c)
+        self._req_id[n : n + c] = chunk.request_id
+        self._arr[n : n + c] = chunk.arrival_time
+        self._inlen[n : n + c] = chunk.input_length
+        self._outlen[n : n + c] = chunk.output_length
+        draws = self._rng.random(2 * c)
+        xi = np.searchsorted(self._x_cdf, draws[0::2], side="right")
+        np.minimum(xi, self._x_cdf.size - 1, out=xi)
+        yj = np.sum(self._y_cdf[xi] <= draws[1::2, None], axis=1)
+        np.minimum(yj, self._y_cdf.shape[1] - 1, out=yj)
+        self._pre_rep[n : n + c] = self._pgid_arr[xi]
+        self._dec_rep[n : n + c] = self._dgid_arr[yj]
+        if not self._workload_spans or self._workload_spans[-1][1] != chunk.workload:
+            self._workload_spans.append((n, chunk.workload))
+        self._n = n + c
+
+    def _run_fast(
+        self,
+        chunks: Iterator[RequestArrays],
+        requests: Optional[Sequence[Request]],
+        trace_duration: Optional[float],
+        label: str,
+    ) -> SimulationResult:
+        """Drive the struct-of-arrays engine over a chunk stream."""
+        self._chunk_iter = chunks
+        self._chunks_done = False
+        events = self._events
         horizon = self.config.max_sim_time
         truncated = False
-        while self._events:
-            event = self._events.pop()
+        while True:
+            # Keep the arrival cursor ahead of the heap: whenever the ingested
+            # rows are exhausted, pull chunks before deciding what runs next.
+            # KV_BATCH drains never advance the cursor, so "cursor < _n or
+            # stream done" holds inside every handler as well.
+            while self._cursor >= self._n and not self._chunks_done:
+                self._load_chunk()
+            have_arrival = self._cursor < self._n
+            top = events.peek_key()
+            if not have_arrival and top is None:
+                break
+            if have_arrival and (top is None or float(self._arr[self._cursor]) <= top[0]):
+                # Arrivals win exact-time ties: the per-event engine pushes all
+                # ARRIVAL events at setup, giving them the lowest heap seqs.
+                at = float(self._arr[self._cursor])
+                if horizon is not None and at > horizon:
+                    truncated = True
+                    break
+                row = self._cursor
+                self._cursor += 1
+                self._clock = max(self._clock, at)
+                self._on_prefill_arrival_fast(
+                    self.prefills[int(self._pre_rep[row])], row, at
+                )
+                continue
+            event = events.pop()
             if horizon is not None and event.time > horizon:
                 truncated = True
                 break
@@ -362,30 +556,596 @@ class ServingSimulator:
                 if event.payload != replica.epoch_seq:
                     continue  # stale wake from a truncated epoch; no clock update
                 self._clock = max(self._clock, event.time)
-                self._apply_steps(replica, replica.epoch_cut)
-                self._plan_epoch(replica, event.time)
+                self._on_decode_wake(replica, event.time)
+            elif event.kind is EventKind.PREFILL_BATCH:
+                self._clock = max(self._clock, event.time)
+                self._on_prefill_batch(event.replica_id, event.payload, event.time)
+            elif event.kind is EventKind.KV_BATCH:
+                self._clock = max(self._clock, event.time)
+                self._on_kv_batch(event.payload, horizon)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unexpected event kind {event.kind}")
+        if truncated and horizon is not None:
+            self._flush_epochs(horizon)
+        return self._finalize_fast(requests, trace_duration, label)
+
+    def _finalize_fast(
+        self,
+        requests: Optional[Sequence[Request]],
+        trace_duration: Optional[float],
+        label: str,
+    ) -> SimulationResult:
+        """Package the metric columns of the processed arrivals as a result.
+
+        Only rows whose arrival was processed are included (a horizon-truncated
+        run drops later arrivals entirely, like the per-event engine).  Columns
+        are reordered by request id when the ingested ids are not already
+        strictly increasing, matching the reference engine's sorted output.
+        """
+        n = self._cursor
+        ids = self._req_id[:n]
+        order: Optional[np.ndarray] = None
+        if n and not bool(np.all(ids[1:] > ids[:-1])):
+            order = np.argsort(ids, kind="stable")
+
+        def col(a: np.ndarray) -> np.ndarray:
+            return a[:n].copy() if order is None else a[:n][order]
+
+        arr_col = col(self._arr)
+        arrays = MetricArrays(
+            request_id=col(self._req_id),
+            arrival_time=arr_col,
+            input_length=col(self._inlen),
+            output_length=col(self._outlen),
+            # The per-event engine sets enqueue_time to the arrival-event time,
+            # which is exactly the arrival column: share it.
+            enqueue_time=arr_col,
+            prefill_start=col(self._m_pstart),
+            first_token_time=col(self._m_first),
+            kv_transfer_done=col(self._m_kvdone),
+            completion_time=col(self._m_comp),
+            finished=col(self._m_fin),
+            prefill_replica=col(self._pre_rep),
+            decode_replica=col(self._dec_rep),
+        )
+        backing: Optional[List[Request]] = None
+        if requests is not None:
+            backing = list(requests[:n])
+            if order is not None:
+                backing = [backing[i] for i in order.tolist()]
+        if trace_duration is None:
+            trace_duration = (
+                float(self._arr[self._n - 1] - self._arr[0]) if self._n >= 2 else 0.0
+            )
+        return SimulationResult.from_arrays(
+            arrays,
+            makespan=self._clock,
+            trace_duration=trace_duration,
+            label=label,
+            requests=backing,
+            workload_spans=list(self._workload_spans),
+            row_order=order,
+        )
+
+    # ----------------------------------------------------- prefill (fast engine)
+    def _on_prefill_arrival_fast(
+        self, replica: _PrefillReplica, row: int, now: float
+    ) -> None:
+        """Queue an arrival, truncating the replica's in-flight prefill epoch.
+
+        The per-event engine re-forms batches from the live queue at every batch
+        boundary, but FIFO order makes almost every planned batch immune to a
+        later arrival: the arrival joins the *back* of the queue, so a planned
+        batch that is already full keeps exactly its composition.  Only the
+        trailing **underfull** batch (greedy chunking leaves at most one) could
+        absorb the newcomer when it is eventually formed — so if that batch has
+        not started yet, it alone is cancelled and re-queued ahead of the
+        arrival; the replan at the last surviving batch boundary re-forms it
+        exactly like the per-event engine would.  Batches already running
+        complete as planned.
+        """
+        replica.queue.append(row)
+        if not replica.busy:
+            self._plan_prefill_epoch(replica, now)
+            return
+        assert replica.epoch_starts is not None and replica.epoch_offsets is not None
+        offsets = replica.epoch_offsets
+        last = replica.epoch_cut - 1
+        if offsets[last + 1] - offsets[last] >= self.config.max_prefill_batch_requests:
+            return  # every pending batch is full; composition cannot change
+        # The trailing batch is underfull: cancel it unless it already started.
+        # Arrivals run before equal-time batch boundaries (see _run_fast), so a
+        # batch starting exactly at ``now`` is formed *after* this request
+        # joined the queue in the per-event engine — start >= now means "not
+        # started".  The leading batch always survives: the epoch was planned
+        # strictly before ``now`` (an arrival at the plan instant would have
+        # been processed first).
+        if last >= 1 and float(replica.epoch_starts[last]) >= now:
+            assert replica.epoch_rows is not None
+            cancelled = replica.epoch_rows[offsets[last] : offsets[last + 1]]
+            replica.queue.extendleft(cancelled[::-1].tolist())
+            replica.epoch_cut = last
+
+    def _plan_prefill_epoch(self, replica: _PrefillReplica, now: float) -> None:
+        """Start a coalesced prefill epoch at ``now``.
+
+        Drains the replica's queue into greedy FIFO batches (up to
+        ``max_prefill_batch_requests`` rows each), prices every batch with
+        one call into the memoized vectorized
+        :meth:`~repro.costmodel.latency.ReplicaCostModel.prefill_latency_grid`,
+        and precomputes every batch's start/completion time plus all KV-transfer
+        handoffs in a single numpy pass.  One cheap ``PREFILL_BATCH`` event per
+        batch replays the precomputed timeline; an arrival mid-epoch truncates
+        the not-yet-started tail (see :meth:`_on_prefill_arrival_fast`).
+        """
+        if not replica.queue:
+            replica.busy = False
+            replica.epoch_rows = None
+            replica.epoch_offsets = None
+            replica.epoch_cut = 0
+            return
+        replica.busy = True
+        cap = self.config.max_prefill_batch_requests
+        nq = len(replica.queue)
+        rows = np.fromiter(replica.queue, dtype=np.int64, count=nq)
+        replica.queue.clear()
+        offsets = np.append(np.arange(0, nq, cap, dtype=np.int64), nq)
+        max_inputs = np.maximum.reduceat(self._inlen[rows], offsets[:-1])
+        sizes = np.diff(offsets)
+        latencies = replica.cost.prefill_latency_grid(max_inputs, sizes)
+        # Sequential accumulation, bitwise-identical to the reference engine's
+        # per-batch now + latency chain (np.cumsum accumulates left to right).
+        nb = offsets.size - 1
+        buffer = np.empty(nb + 1, dtype=np.float64)
+        buffer[0] = now
+        buffer[1:] = latencies
+        times = np.cumsum(buffer)
+        replica.epoch_rows = rows
+        replica.epoch_offsets = offsets
+        replica.epoch_starts = times[:-1]
+        replica.epoch_dones = times[1:]
+        replica.epoch_cut = nb
+        replica.epoch_seq += 1
+        replica.epoch_kv = self._plan_epoch_kv(replica, rows, offsets, replica.epoch_dones)
+        for k, done in enumerate(replica.epoch_dones.tolist()):
+            self._events.push(
+                Event(
+                    time=done,
+                    kind=EventKind.PREFILL_BATCH,
+                    replica_id=replica.group_id,
+                    payload=(replica.epoch_seq, k),
+                )
+            )
+
+    def _kv_link(self, prefill_id: int, decode_id: int) -> Optional[Tuple[float, float]]:
+        """(alpha, beta) of the best link between two groups; ``None`` if co-located."""
+        key = (prefill_id, decode_id)
+        if key in self._kv_links:
+            return self._kv_links[key]
+        src = self.plan.group(prefill_id).gpu_ids
+        dst = self.plan.group(decode_id).gpu_ids
+        if set(src) & set(dst):
+            link = None
+        else:
+            network = self.cluster.network
+            i, j, _bw = network.best_link_between(list(src), list(dst))
+            link = (network.latency_s(i, j), network.bandwidth_bytes(i, j))
+        self._kv_links[key] = link
+        return link
+
+    def _plan_epoch_kv(
+        self,
+        replica: _PrefillReplica,
+        rows: np.ndarray,
+        offsets: np.ndarray,
+        dones: np.ndarray,
+    ) -> List[List[Tuple[int, np.ndarray, np.ndarray]]]:
+        """Precompute every batch's KV-transfer handoffs, coalesced per target.
+
+        The arrival time of every multi-token request in the epoch is computed
+        in one vectorized pass per decode group (``batch_done + alpha +
+        bytes/beta`` against the cached link parameters — bitwise-identical to
+        the reference engine's per-request :func:`kv_transfer_seconds` calls),
+        then grouped per (batch, decode replica) in first-appearance order (the
+        order the per-event engine would push their heap events) and stably
+        sorted by arrival time so a single :class:`_KVBatch` cursor can drain
+        them in exact heap order.
+        """
+        nb = offsets.size - 1
+        multi = self._outlen[rows] > 1
+        if not bool(multi.any()):
+            return [[] for _ in range(nb)]
+        dec = self._dec_rep[rows]
+        batch_of = np.repeat(np.arange(nb), np.diff(offsets))
+        times = np.zeros(rows.size, dtype=np.float64)
+        for gid in self.decodes:
+            mask = multi & (dec == gid)
+            if not bool(mask.any()):
                 continue
+            link = self._kv_link(replica.group_id, gid)
+            if link is None:
+                times[mask] = dones[batch_of[mask]]
+            else:
+                alpha, beta = link
+                tokens = self._inlen[rows[mask]] + 1
+                times[mask] = dones[batch_of[mask]] + (
+                    alpha + (self._kv_bytes_per_token * tokens) / beta
+                )
+        plan: List[List[Tuple[int, np.ndarray, np.ndarray]]] = []
+        multi_list = multi.tolist()
+        dec_list = dec.tolist()
+        offs = offsets.tolist()
+        for k in range(nb):
+            groups: Dict[int, List[int]] = {}
+            for p in range(offs[k], offs[k + 1]):
+                if multi_list[p]:
+                    groups.setdefault(dec_list[p], []).append(p)
+            per_batch: List[Tuple[int, np.ndarray, np.ndarray]] = []
+            for gid, positions in groups.items():
+                idx = np.asarray(positions, dtype=np.int64)
+                t = times[idx]
+                order = np.argsort(t, kind="stable")
+                per_batch.append((gid, rows[idx[order]], t[order]))
+            plan.append(per_batch)
+        return plan
+
+    def _on_prefill_batch(self, replica_id: int, payload: Tuple[int, int], now: float) -> None:
+        """Apply one precomputed prefill-batch completion (fast engine)."""
+        replica = self.prefills[replica_id]
+        seq, idx = payload
+        if seq != replica.epoch_seq or idx >= replica.epoch_cut:
+            return  # batch cancelled by an arrival truncation / superseded epoch
+        assert (
+            replica.epoch_rows is not None
+            and replica.epoch_offsets is not None
+            and replica.epoch_starts is not None
+        )
+        offsets = replica.epoch_offsets
+        rows = replica.epoch_rows[offsets[idx] : offsets[idx + 1]]
+        self._m_pstart[rows] = replica.epoch_starts[idx]
+        self._m_first[rows] = now
+        single = rows[self._outlen[rows] <= 1]
+        if single.size:
+            # Single-token responses finish at prefill; no KV transfer needed.
+            self._m_kvdone[single] = now
+            self._m_comp[single] = now
+            self._m_fin[single] = True
+        for decode_id, kv_rows, times in replica.epoch_kv[idx]:
+            holder = _KVBatch(decode_id=decode_id, rows=kv_rows, times=times)
+            holder.heap_seq = self._events.push(
+                Event(
+                    time=float(times[0]),
+                    kind=EventKind.KV_BATCH,
+                    replica_id=decode_id,
+                    payload=holder,
+                )
+            )
+        if idx == replica.epoch_cut - 1:
+            # Last valid batch: pick up whatever queued (or was re-queued by a
+            # truncation) while the epoch ran.
+            self._plan_prefill_epoch(replica, now)
+
+    def _on_kv_batch(self, holder: _KVBatch, horizon: Optional[float]) -> None:
+        """Drain a coalesced KV-arrival cursor in exact per-event order.
+
+        Arrivals are delivered while they remain the earliest pending work;
+        whenever another heap entry — or a not-yet-processed trace arrival,
+        which the per-event engine would hold as an earlier-seq heap event —
+        is due first, the cursor is re-inserted at the next arrival under its
+        original sequence number so exact-time ties keep per-event ordering.
+        """
+        times = holder.times
+        rows = holder.rows
+        n = rows.size
+        events = self._events
+        while holder.pos < n:
+            t = float(times[holder.pos])
+            if horizon is not None and t > horizon:
+                # Beyond the horizon: hand the remainder back so the main loop
+                # observes (and truncates at) it like the per-event engine.
+                events.repush(
+                    Event(
+                        time=t,
+                        kind=EventKind.KV_BATCH,
+                        replica_id=holder.decode_id,
+                        payload=holder,
+                    ),
+                    holder.heap_seq,
+                )
+                return
+            if self._cursor < self._n and float(self._arr[self._cursor]) <= t:
+                events.repush(
+                    Event(
+                        time=t,
+                        kind=EventKind.KV_BATCH,
+                        replica_id=holder.decode_id,
+                        payload=holder,
+                    ),
+                    holder.heap_seq,
+                )
+                return
+            top = events.peek_key()
+            if top is not None and top < (t, holder.heap_seq):
+                events.repush(
+                    Event(
+                        time=t,
+                        kind=EventKind.KV_BATCH,
+                        replica_id=holder.decode_id,
+                        payload=holder,
+                    ),
+                    holder.heap_seq,
+                )
+                return
+            holder.pos += 1
+            self._clock = max(self._clock, t)
+            self._on_kv_arrived_fast(holder.decode_id, int(rows[holder.pos - 1]), t)
+
+    # ------------------------------------------------------ decode (fast engine)
+    def _admit_pending_fast(self, replica: _DecodeReplica) -> int:
+        """Admit pending rows while capacity allows; return the admitted count.
+
+        Admitted rows are merged into the replica's ``rem``-sorted arrays by a
+        stable sort + binary insertion, preserving the sorted-by-remaining
+        invariant the epoch planner relies on.  Relative order among equal
+        ``rem`` values is observationally irrelevant: ties complete together
+        at the same boundary and every aggregate over them commutes.
+        """
+        if not replica.pending or replica.rows.size >= replica.max_batch:
+            return 0
+        new_rows: List[int] = []
+        new_ctx: List[int] = []
+        new_rem: List[int] = []
+        inlen = self._inlen
+        outlen = self._outlen
+        kv = replica.kv
+        while replica.pending and replica.rows.size + len(new_rows) < replica.max_batch:
+            row = replica.pending[0]
+            i = int(inlen[row])
+            o = int(outlen[row])
+            if not kv.can_allocate(i + o):
+                break
+            replica.pending.popleft()
+            kv.allocate(row, i + o)
+            # The prefill already produced the first output token.
+            new_rows.append(row)
+            new_ctx.append(i + 1)
+            new_rem.append(o - 1)
+        if not new_rows:
+            return 0
+        rows_a = np.asarray(new_rows, dtype=np.int64)
+        ctx_a = np.asarray(new_ctx, dtype=np.int64)
+        rem_a = np.asarray(new_rem, dtype=np.int64)
+        if len(new_rows) > 1:
+            order = np.argsort(rem_a, kind="stable")
+            rows_a = rows_a[order]
+            ctx_a = ctx_a[order]
+            rem_a = rem_a[order]
+        if replica.rows.size == 0:
+            replica.rows = rows_a
+            replica.ctx = ctx_a
+            replica.rem = rem_a
+        else:
+            pos = np.searchsorted(replica.rem, rem_a)
+            replica.rows = np.insert(replica.rows, pos, rows_a)
+            replica.ctx = np.insert(replica.ctx, pos, ctx_a)
+            replica.rem = np.insert(replica.rem, pos, rem_a)
+        return len(new_rows)
+
+    def _plan_epoch(self, replica: _DecodeReplica, now: float, admit: bool = True) -> None:
+        """Start a coalesced decode epoch at ``now``.
+
+        The batch composition cannot change before the earliest completion
+        (``rem[0]`` steps away), so the epoch spans ``min(rem[0],
+        epoch_budget)`` steps with a **constant batch**: the mean context of
+        step ``t`` is the closed form ``trunc((ctx_sum + n*(t-1)) / n)``, and
+        all step latencies price in one vectorized call (a scalar-memo loop
+        serves epochs of at most ``_SMALL_EPOCH_STEPS`` steps, skipping numpy
+        fixed costs).  One DECODE_WAKE event stands in for the whole jump; a KV
+        arrival mid-epoch truncates it at the first boundary after the arrival,
+        and an epoch ending at the budget (no completion, no admission) simply
+        replans from unchanged state — a pure scheduling horizon, invisible in
+        the metrics.
+        """
+        if admit:
+            self._admit_pending_fast(replica)
+        n = int(replica.rows.size)
+        if n == 0:
+            replica.stepping = False
+            replica.epoch_times = None
+            replica.epoch_len = 0
+            replica.epoch_cut = 0
+            return
+        replica.stepping = True
+        ctx_sum = int(replica.ctx.sum())
+        k = min(int(replica.rem[0]), replica.epoch_budget)
+        if k <= _SMALL_EPOCH_STEPS:
+            cost = replica.cost
+            acc = now
+            times_list: List[float] = []
+            for t in range(k):
+                # int(int / int): correctly-rounded float64 division then
+                # truncation — bitwise the reference's int(np.mean([...])).
+                mean = int((ctx_sum + n * t) / n)
+                if mean < 1:
+                    mean = 1
+                acc = acc + cost.decode_step_memo(n, mean)
+                times_list.append(acc)
+            replica.epoch_times = np.asarray(times_list, dtype=np.float64)
+        else:
+            steps = np.arange(k, dtype=np.int64)
+            context_sum = ctx_sum + n * steps
+            mean_ctx = (context_sum.astype(np.float64) / float(n)).astype(np.int64)
+            np.maximum(mean_ctx, 1, out=mean_ctx)
+            latencies = replica.cost.decode_step_grid(
+                np.full(k, n, dtype=np.int64), mean_ctx
+            )
+            # Sequential accumulation, bitwise-identical to the reference
+            # engine's now += latency chain (np.cumsum adds left to right).
+            buffer = np.empty(k + 1, dtype=np.float64)
+            buffer[0] = now
+            buffer[1:] = latencies
+            replica.epoch_times = np.cumsum(buffer)[1:]
+        replica.epoch_len = k
+        replica.epoch_cut = k
+        replica.epoch_seq += 1
+        self._events.push(
+            Event(
+                time=float(replica.epoch_times[-1]),
+                kind=EventKind.DECODE_WAKE,
+                replica_id=replica.group_id,
+                payload=replica.epoch_seq,
+            )
+        )
+
+    def _on_decode_wake(self, replica: _DecodeReplica, now: float) -> None:
+        """Apply an epoch's steps at its wake and extend or replan.
+
+        A full-length wake (no truncation) replans from the completion
+        boundary, doubling the budget when the epoch consumed it whole.  A
+        truncated wake admits the arrival that caused the truncation; when
+        nothing could be admitted (capacity), the **surviving suffix** of the
+        old plan is reinstated as the next epoch without re-pricing — the
+        remaining boundary times are a pure function of batch state the
+        truncation did not change.
+        """
+        applied = replica.epoch_cut
+        planned = replica.epoch_len
+        completed = self._apply_steps(replica, applied)
+        if applied < planned:
+            # Interrupted by a KV arrival: shrink the budget toward the
+            # observed interruption distance.
+            replica.epoch_budget = max(_MIN_EPOCH_BUDGET, 2 * applied)
+            if completed == 0:
+                admitted = self._admit_pending_fast(replica)
+                if admitted == 0 and replica.rows.size:
+                    assert replica.epoch_times is not None
+                    times = replica.epoch_times[applied:planned]
+                    replica.epoch_times = times
+                    replica.epoch_len = int(times.size)
+                    replica.epoch_cut = int(times.size)
+                    replica.epoch_seq += 1
+                    self._events.push(
+                        Event(
+                            time=float(times[-1]),
+                            kind=EventKind.DECODE_WAKE,
+                            replica_id=replica.group_id,
+                            payload=replica.epoch_seq,
+                        )
+                    )
+                    return
+                self._plan_epoch(replica, now, admit=False)
+                return
+            self._plan_epoch(replica, now)
+            return
+        if planned == replica.epoch_budget:
+            # The epoch ran its whole budget undisturbed: coalesce harder.
+            replica.epoch_budget = min(_MAX_EPOCH_BUDGET, 2 * replica.epoch_budget)
+        self._plan_epoch(replica, now)
+
+    def _apply_steps(self, replica: _DecodeReplica, steps: int) -> int:
+        """Advance the batch by ``steps`` tokens; return the completion count.
+
+        Epochs never extend past the earliest completion, so every finishing
+        row has ``rem == steps`` exactly and completes at the final applied
+        boundary ``epoch_times[steps - 1]``; the sorted-by-``rem`` invariant
+        makes the finishers a prefix slice.
+        """
+        if steps <= 0:
+            return 0
+        n = int(replica.rows.size)
+        k = int(np.searchsorted(replica.rem, steps, side="right"))
+        if k:
+            assert replica.epoch_times is not None
+            done = float(replica.epoch_times[steps - 1])
+            finished_rows = replica.rows[:k]
+            self._m_comp[finished_rows] = done
+            self._m_fin[finished_rows] = True
+            kv = replica.kv
+            for row in finished_rows.tolist():
+                kv.free(row)
+            if k == n:
+                replica.rows = _empty_ids()
+                replica.ctx = _empty_ids()
+                replica.rem = _empty_ids()
+                return k
+            replica.rows = replica.rows[k:]
+            replica.ctx = replica.ctx[k:]
+            replica.rem = replica.rem[k:]
+        replica.ctx = replica.ctx + steps
+        replica.rem = replica.rem - steps
+        return k
+
+    def _on_kv_arrived_fast(self, replica_id: int, row: int, now: float) -> None:
+        """Record a KV arrival and truncate the replica's epoch if admissible."""
+        self._m_kvdone[row] = now
+        replica = self.decodes[replica_id]
+        head_was_blocked = bool(replica.pending)
+        replica.pending.append(row)
+        if not replica.stepping:
+            self._plan_epoch(replica, now)
+            return
+        if head_was_blocked:
+            # A FIFO head already waiting means admission is blocked on capacity
+            # that only a completion can free — the epoch end already covers it.
+            return
+        assert replica.epoch_times is not None
+        times = replica.epoch_times[: replica.epoch_cut]
+        # First step boundary at or after the arrival: that is where the
+        # reference engine's per-step admission would pick the request up.
+        idx = int(np.searchsorted(times, now, side="left"))
+        steps = idx + 1
+        if steps < replica.epoch_cut:
+            replica.epoch_cut = steps
+            replica.epoch_seq += 1
+            self._events.push(
+                Event(
+                    time=float(times[idx]),
+                    kind=EventKind.DECODE_WAKE,
+                    replica_id=replica.group_id,
+                    payload=replica.epoch_seq,
+                )
+            )
+
+    def _flush_epochs(self, horizon: float) -> None:
+        """Complete in-flight epoch steps up to ``horizon`` after a truncated run.
+
+        The reference engine processes every per-step event with time <= horizon
+        before stopping; coalesced epochs must replay the same boundaries so
+        horizon-bounded runs record identical completions.
+        """
+        for replica in self.decodes.values():
+            if not replica.stepping or replica.epoch_times is None:
+                continue
+            times = replica.epoch_times[: replica.epoch_cut]
+            steps = int(np.searchsorted(times, horizon, side="right"))
+            if steps > 0:
+                self._apply_steps(replica, steps)
+                self._clock = max(self._clock, float(times[steps - 1]))
+
+    # ------------------------------------------------------------------ reference
+    def _run_reference(self, trace: Trace, label: str) -> SimulationResult:
+        """Replay a trace through the per-event oracle engine."""
+        self._reset_replicas()
+        for request in trace:
+            self._events.push(
+                Event(time=request.arrival_time, kind=EventKind.ARRIVAL, payload=request)
+            )
+        horizon = self.config.max_sim_time
+        while self._events:
+            event = self._events.pop()
+            if horizon is not None and event.time > horizon:
+                break
             self._clock = max(self._clock, event.time)
             if event.kind is EventKind.ARRIVAL:
                 self._on_arrival(event.payload, event.time)
-            elif event.kind is EventKind.PREFILL_BATCH:
-                self._on_prefill_batch(event.replica_id, event.payload, event.time)
-            elif event.kind is EventKind.KV_BATCH:
-                self._on_kv_batch(event.payload, horizon)
             elif event.kind is EventKind.PREFILL_DONE:
                 self._on_prefill_done(event.replica_id, event.payload, event.time)
             elif event.kind is EventKind.KV_ARRIVED:
-                if fast:
-                    self._on_kv_arrived_fast(event.replica_id, event.payload, event.time)
-                else:
-                    self._on_kv_arrived(event.replica_id, event.payload, event.time)
+                self._on_kv_arrived(event.replica_id, event.payload, event.time)
             elif event.kind is EventKind.DECODE_STEP:
                 self._on_decode_step(event.replica_id, event.time)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unexpected event kind {event.kind}")
-        if fast and truncated and horizon is not None:
-            self._flush_epochs(horizon)
-
         metrics = [self._metrics[rid] for rid in sorted(self._metrics)]
         return SimulationResult(
             metrics=metrics,
@@ -394,7 +1154,6 @@ class ServingSimulator:
             label=label,
         )
 
-    # ------------------------------------------------------------------ handlers
     def _on_arrival(self, request: Request, now: float) -> None:
         prefill_id, decode_id = self._choose_pair()
         metrics = RequestMetrics(request=request, enqueue_time=now)
@@ -403,9 +1162,6 @@ class ServingSimulator:
         self._metrics[request.request_id] = metrics
         self._decode_target[request.request_id] = decode_id
         replica = self.prefills[prefill_id]
-        if self._fast:
-            self._on_prefill_arrival_fast(replica, request, now)
-            return
         replica.queue.append(request)
         if not replica.busy:
             self._start_prefill_batch(replica, now)
@@ -466,378 +1222,6 @@ class ServingSimulator:
         # Keep the prefill replica busy with the next batch, if any.
         self._start_prefill_batch(replica, now)
 
-    # ----------------------------------------------------- prefill (fast engine)
-    def _on_prefill_arrival_fast(self, replica: _PrefillReplica, request: Request, now: float) -> None:
-        """Queue an arrival, truncating the replica's in-flight prefill epoch.
-
-        The per-event engine re-forms batches from the live queue at every batch
-        boundary, but FIFO order makes almost every planned batch immune to a
-        later arrival: the arrival joins the *back* of the queue, so a planned
-        batch that is already full keeps exactly its composition.  Only the
-        trailing **underfull** batch (greedy chunking leaves at most one) could
-        absorb the newcomer when it is eventually formed — so if that batch has
-        not started yet, it alone is cancelled and re-queued ahead of the
-        arrival; the replan at the last surviving batch boundary re-forms it
-        exactly like the per-event engine would.  Batches already running
-        complete as planned.
-        """
-        replica.queue.append(request)
-        if not replica.busy:
-            self._plan_prefill_epoch(replica, now)
-            return
-        assert replica.epoch_starts is not None
-        last = replica.epoch_cut - 1
-        if len(replica.epoch_batches[last]) >= self.config.max_prefill_batch_requests:
-            return  # every pending batch is full; composition cannot change
-        # The trailing batch is underfull: cancel it unless it already started.
-        # Arrivals pop before equal-time batch boundaries (their heap entries
-        # are pushed first, at run setup), so a batch starting exactly at
-        # ``now`` is formed *after* this request joined the queue in the
-        # per-event engine — start >= now means "not started".  The leading
-        # batch always survives: the epoch was planned strictly before ``now``
-        # (an arrival at the plan instant would have been processed first).
-        if last >= 1 and float(replica.epoch_starts[last]) >= now:
-            replica.queue.extendleft(reversed(replica.epoch_batches[last]))
-            replica.epoch_cut = last
-
-    def _plan_prefill_epoch(self, replica: _PrefillReplica, now: float) -> None:
-        """Start a coalesced prefill epoch at ``now``.
-
-        Drains the replica's queue into greedy FIFO batches (up to
-        ``max_prefill_batch_requests`` requests each), prices every batch with
-        one call into the memoized vectorized
-        :meth:`~repro.costmodel.latency.ReplicaCostModel.prefill_latency_grid`,
-        and precomputes every batch's start/completion time plus all KV-transfer
-        handoffs in a single numpy pass.  One cheap ``PREFILL_BATCH`` event per
-        batch replays the precomputed timeline; an arrival mid-epoch truncates
-        the not-yet-started tail (see :meth:`_on_prefill_arrival_fast`).
-        """
-        if not replica.queue:
-            replica.busy = False
-            replica.epoch_batches = []
-            replica.epoch_cut = 0
-            return
-        replica.busy = True
-        cap = self.config.max_prefill_batch_requests
-        queued = list(replica.queue)
-        replica.queue.clear()
-        batches = [queued[i : i + cap] for i in range(0, len(queued), cap)]
-        n = len(batches)
-        max_inputs = np.fromiter(
-            (max(r.input_length for r in batch) for batch in batches),
-            dtype=np.int64,
-            count=n,
-        )
-        sizes = np.fromiter((len(batch) for batch in batches), dtype=np.int64, count=n)
-        latencies = replica.cost.prefill_latency_grid(max_inputs, sizes)
-        # Sequential accumulation, bitwise-identical to the reference engine's
-        # per-batch now + latency chain (np.cumsum accumulates left to right).
-        buffer = np.empty(n + 1, dtype=np.float64)
-        buffer[0] = now
-        buffer[1:] = latencies
-        times = np.cumsum(buffer)
-        replica.epoch_batches = batches
-        replica.epoch_starts = times[:-1]
-        replica.epoch_dones = times[1:]
-        replica.epoch_cut = n
-        replica.epoch_seq += 1
-        replica.epoch_kv = self._plan_epoch_kv(replica, batches, replica.epoch_dones)
-        for k, done in enumerate(replica.epoch_dones.tolist()):
-            self._events.push(
-                Event(
-                    time=done,
-                    kind=EventKind.PREFILL_BATCH,
-                    replica_id=replica.group_id,
-                    payload=(replica.epoch_seq, k),
-                )
-            )
-
-    def _kv_link(self, prefill_id: int, decode_id: int) -> Optional[Tuple[float, float]]:
-        """(alpha, beta) of the best link between two groups; ``None`` if co-located."""
-        key = (prefill_id, decode_id)
-        if key in self._kv_links:
-            return self._kv_links[key]
-        src = self.plan.group(prefill_id).gpu_ids
-        dst = self.plan.group(decode_id).gpu_ids
-        if set(src) & set(dst):
-            link = None
-        else:
-            network = self.cluster.network
-            i, j, _bw = network.best_link_between(list(src), list(dst))
-            link = (network.latency_s(i, j), network.bandwidth_bytes(i, j))
-        self._kv_links[key] = link
-        return link
-
-    def _plan_epoch_kv(
-        self,
-        replica: _PrefillReplica,
-        batches: List[List[Request]],
-        dones: np.ndarray,
-    ) -> List[List[Tuple[int, List[Request], np.ndarray]]]:
-        """Precompute every batch's KV-transfer handoffs, coalesced per target.
-
-        For each (batch, decode replica) pair the per-request arrival times are
-        ``batch_done + alpha + bytes/beta`` computed in one vectorized shot
-        against the cached link parameters — bitwise-identical to the reference
-        engine's per-request :func:`kv_transfer_seconds` calls.  Requests are
-        stably sorted by arrival time so a single :class:`_KVBatch` cursor can
-        drain them in exact heap order.
-        """
-        plan: List[List[Tuple[int, List[Request], np.ndarray]]] = []
-        for k, batch in enumerate(batches):
-            groups: Dict[int, List[Request]] = {}
-            for request in batch:
-                if request.output_length <= 1:
-                    continue  # finishes at prefill; no KV transfer
-                groups.setdefault(self._decode_target[request.request_id], []).append(request)
-            done = float(dones[k])
-            per_batch: List[Tuple[int, List[Request], np.ndarray]] = []
-            for decode_id, requests in groups.items():
-                link = self._kv_link(replica.group_id, decode_id)
-                if link is None:
-                    times = np.full(len(requests), done, dtype=np.float64)
-                else:
-                    alpha, beta = link
-                    tokens = np.fromiter(
-                        (r.input_length + 1 for r in requests),
-                        dtype=np.int64,
-                        count=len(requests),
-                    )
-                    times = done + (alpha + (self._kv_bytes_per_token * tokens) / beta)
-                order = np.argsort(times, kind="stable")
-                per_batch.append(
-                    (decode_id, [requests[i] for i in order.tolist()], times[order])
-                )
-            plan.append(per_batch)
-        return plan
-
-    def _on_prefill_batch(self, replica_id: int, payload: Tuple[int, int], now: float) -> None:
-        """Apply one precomputed prefill-batch completion (fast engine)."""
-        replica = self.prefills[replica_id]
-        seq, idx = payload
-        if seq != replica.epoch_seq or idx >= replica.epoch_cut:
-            return  # batch cancelled by an arrival truncation / superseded epoch
-        assert replica.epoch_starts is not None
-        batch = replica.epoch_batches[idx]
-        start = float(replica.epoch_starts[idx])
-        for request in batch:
-            metrics = self._metrics[request.request_id]
-            metrics.prefill_start = start
-            metrics.first_token_time = now
-            if request.output_length <= 1:
-                # Single-token responses finish at prefill; no KV transfer needed.
-                metrics.kv_transfer_done = now
-                metrics.completion_time = now
-                metrics.finished = True
-        for decode_id, requests, times in replica.epoch_kv[idx]:
-            holder = _KVBatch(decode_id=decode_id, requests=requests, times=times)
-            holder.heap_seq = self._events.push(
-                Event(
-                    time=float(times[0]),
-                    kind=EventKind.KV_BATCH,
-                    replica_id=decode_id,
-                    payload=holder,
-                )
-            )
-        if idx == replica.epoch_cut - 1:
-            # Last valid batch: pick up whatever queued (or was re-queued by a
-            # truncation) while the epoch ran.
-            self._plan_prefill_epoch(replica, now)
-
-    def _on_kv_batch(self, holder: _KVBatch, horizon: Optional[float]) -> None:
-        """Drain a coalesced KV-arrival cursor in exact per-event order.
-
-        Arrivals are delivered while they remain the earliest pending work;
-        whenever another heap entry is due first — compared on the full
-        (time, sequence) key, so exact-time ties resolve as they would for
-        per-request events — the cursor is re-inserted at the next arrival
-        under its original sequence number.
-        """
-        times = holder.times
-        requests = holder.requests
-        n = len(requests)
-        events = self._events
-        while holder.pos < n:
-            t = float(times[holder.pos])
-            if horizon is not None and t > horizon:
-                # Beyond the horizon: hand the remainder back so the main loop
-                # observes (and truncates at) it like the per-event engine.
-                events.repush(
-                    Event(
-                        time=t,
-                        kind=EventKind.KV_BATCH,
-                        replica_id=holder.decode_id,
-                        payload=holder,
-                    ),
-                    holder.heap_seq,
-                )
-                return
-            top = events.peek_key()
-            if top is not None and top < (t, holder.heap_seq):
-                events.repush(
-                    Event(
-                        time=t,
-                        kind=EventKind.KV_BATCH,
-                        replica_id=holder.decode_id,
-                        payload=holder,
-                    ),
-                    holder.heap_seq,
-                )
-                return
-            holder.pos += 1
-            self._clock = max(self._clock, t)
-            self._on_kv_arrived_fast(holder.decode_id, requests[holder.pos - 1], t)
-
-    # ------------------------------------------------------ decode (fast engine)
-    def _admit_pending_fast(self, replica: _DecodeReplica) -> None:
-        """Admit pending requests into the array state while capacity allows."""
-        new_ids: List[int] = []
-        new_ctx: List[int] = []
-        new_rem: List[int] = []
-        while replica.pending and replica.ids.size + len(new_ids) < replica.max_batch:
-            request = replica.pending[0]
-            final_context = request.total_tokens
-            if not replica.kv.can_allocate(final_context):
-                break
-            replica.pending.popleft()
-            replica.kv.allocate(request.request_id, final_context)
-            # The prefill already produced the first output token.
-            new_ids.append(request.request_id)
-            new_ctx.append(request.input_length + 1)
-            new_rem.append(request.output_length - 1)
-        if new_ids:
-            replica.ids = np.concatenate([replica.ids, np.asarray(new_ids, dtype=np.int64)])
-            replica.ctx = np.concatenate([replica.ctx, np.asarray(new_ctx, dtype=np.int64)])
-            replica.rem = np.concatenate([replica.rem, np.asarray(new_rem, dtype=np.int64)])
-
-    def _plan_epoch(self, replica: _DecodeReplica, now: float) -> None:
-        """Start a coalesced decode epoch at ``now``.
-
-        Precomputes the boundary time of every step until the batch membership
-        can next change: the first completion when requests are waiting (a
-        completion frees KV/batch capacity, so admission must be retried there),
-        or the full drain of the current batch when nothing is pending.  One
-        DECODE_WAKE event stands in for the whole jump; a KV arrival mid-epoch
-        truncates it at the first boundary after the arrival.
-        """
-        self._admit_pending_fast(replica)
-        n = int(replica.ids.size)
-        if n == 0:
-            replica.stepping = False
-            replica.epoch_times = None
-            replica.epoch_cut = 0
-            return
-        replica.stepping = True
-        rem = replica.rem
-        horizon_steps = int(rem.min()) if replica.pending else int(rem.max())
-        order = np.argsort(rem, kind="stable")
-        rem_sorted = rem[order]
-        ctx_sorted = replica.ctx[order]
-        t = np.arange(1, horizon_steps + 1, dtype=np.int64)
-        # Requests with rem <= t-1 have completed before step t begins.
-        dropped = np.searchsorted(rem_sorted, t - 1, side="right")
-        batch_t = n - dropped
-        suffix = np.zeros(n + 1, dtype=np.int64)
-        suffix[:n] = np.cumsum(ctx_sorted[::-1])[::-1]
-        # Sum of survivor contexts at the start of step t (each grew by t-1).
-        context_sum = suffix[dropped] + batch_t * (t - 1)
-        # int(np.mean(...)) of the reference engine: float64 division, truncation.
-        mean_ctx = (context_sum.astype(np.float64) / batch_t.astype(np.float64)).astype(np.int64)
-        np.maximum(mean_ctx, 1, out=mean_ctx)
-        latencies = replica.cost.decode_step_grid(batch_t, mean_ctx)
-        # Sequential accumulation, bitwise-identical to the reference engine's
-        # now += latency chain (np.cumsum accumulates left to right).
-        buffer = np.empty(horizon_steps + 1, dtype=np.float64)
-        buffer[0] = now
-        buffer[1:] = latencies
-        replica.epoch_times = np.cumsum(buffer)[1:]
-        replica.epoch_cut = horizon_steps
-        replica.epoch_seq += 1
-        self._events.push(
-            Event(
-                time=float(replica.epoch_times[-1]),
-                kind=EventKind.DECODE_WAKE,
-                replica_id=replica.group_id,
-                payload=replica.epoch_seq,
-            )
-        )
-
-    def _apply_steps(self, replica: _DecodeReplica, steps: int) -> None:
-        """Advance the replica's batch by ``steps`` tokens, completing expiries.
-
-        Requests whose remaining-token count expires inside the jump complete at
-        their exact per-step boundary time ``epoch_times[rem - 1]``.
-        """
-        if steps <= 0:
-            return
-        times = replica.epoch_times
-        rem = replica.rem
-        finished = rem <= steps
-        if finished.any():
-            assert times is not None
-            finished_ids = replica.ids[finished].tolist()
-            finished_times = times[rem[finished] - 1].tolist()
-            for request_id, done in zip(finished_ids, finished_times):
-                replica.kv.free(request_id)
-                metrics = self._metrics[request_id]
-                metrics.completion_time = done
-                metrics.finished = True
-            keep = ~finished
-            replica.ids = replica.ids[keep]
-            replica.ctx = replica.ctx[keep] + steps
-            replica.rem = replica.rem[keep] - steps
-        else:
-            replica.ctx = replica.ctx + steps
-            replica.rem = replica.rem - steps
-
-    def _on_kv_arrived_fast(self, replica_id: int, request: Request, now: float) -> None:
-        metrics = self._metrics[request.request_id]
-        metrics.kv_transfer_done = now
-        replica = self.decodes[replica_id]
-        head_was_blocked = bool(replica.pending)
-        replica.pending.append(request)
-        if not replica.stepping:
-            self._plan_epoch(replica, now)
-            return
-        if head_was_blocked:
-            # A FIFO head already waiting means admission is blocked on capacity
-            # that only a completion can free — the epoch end already covers it.
-            return
-        assert replica.epoch_times is not None
-        times = replica.epoch_times[: replica.epoch_cut]
-        # First step boundary at or after the arrival: that is where the
-        # reference engine's per-step admission would pick the request up.
-        idx = int(np.searchsorted(times, now, side="left"))
-        steps = idx + 1
-        if steps < replica.epoch_cut:
-            replica.epoch_cut = steps
-            replica.epoch_seq += 1
-            self._events.push(
-                Event(
-                    time=float(times[idx]),
-                    kind=EventKind.DECODE_WAKE,
-                    replica_id=replica.group_id,
-                    payload=replica.epoch_seq,
-                )
-            )
-
-    def _flush_epochs(self, horizon: float) -> None:
-        """Complete in-flight epoch steps up to ``horizon`` after a truncated run.
-
-        The reference engine processes every per-step event with time <= horizon
-        before stopping; coalesced epochs must replay the same boundaries so
-        horizon-bounded runs record identical completions.
-        """
-        for replica in self.decodes.values():
-            if not replica.stepping or replica.epoch_times is None:
-                continue
-            times = replica.epoch_times[: replica.epoch_cut]
-            steps = int(np.searchsorted(times, horizon, side="right"))
-            if steps > 0:
-                self._apply_steps(replica, steps)
-                self._clock = max(self._clock, float(times[steps - 1]))
-
-    # ------------------------------------------------- decode (reference engine)
     def _on_kv_arrived(self, replica_id: int, request: Request, now: float) -> None:
         metrics = self._metrics[request.request_id]
         metrics.kv_transfer_done = now
@@ -856,7 +1240,10 @@ class ServingSimulator:
             replica.pending.popleft()
             replica.kv.allocate(request.request_id, final_context)
             # The prefill already produced the first output token.
-            replica.active[request.request_id] = [request.input_length + 1, request.output_length - 1]
+            replica.active[request.request_id] = [
+                request.input_length + 1,
+                request.output_length - 1,
+            ]
 
     def _schedule_decode_step(self, replica: _DecodeReplica, now: float) -> None:
         self._admit_pending(replica)

@@ -7,18 +7,29 @@ The paper's evaluation reports two families of numbers:
 * **throughput** — generated tokens (or requests) per second (Figures 6, 9,
   Tables 5 and 8).
 
-:class:`SimulationResult` wraps the per-request metrics produced by a simulator run
-and exposes those aggregates.
+:class:`SimulationResult` wraps the per-request metrics produced by a simulator
+run and exposes those aggregates.  The result is backed by one of two storages:
+
+* a list of :class:`~repro.core.types.RequestMetrics` objects (the reference
+  engine, windowed serving, and hand-built results), or
+* a :class:`MetricArrays` column block (the fast engine's struct-of-arrays
+  output), in which case aggregates are computed vectorized and the object list
+  is only materialized on first access to :attr:`SimulationResult.metrics` —
+  a million-request run aggregates without ever building a million objects.
+
+Both storages describe the same requests, so every aggregate is identical
+(bitwise) whichever backing a result carries.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.types import RequestMetrics, SLOSpec, SLOType
+from repro.core.types import Request, RequestMetrics, SLOSpec, SLOType
 
 
 def summarize_requests(metrics: Sequence[RequestMetrics]) -> Dict[str, float]:
@@ -48,21 +59,225 @@ def summarize_requests(metrics: Sequence[RequestMetrics]) -> Dict[str, float]:
 
 
 @dataclass
-class SimulationResult:
-    """Per-request metrics plus run-level aggregates of one simulation."""
+class MetricArrays:
+    """Per-request metrics of one simulation run in struct-of-arrays form.
 
-    metrics: List[RequestMetrics]
-    #: simulation time at which the last event was processed
-    makespan: float
-    #: wall-clock duration of the simulated request trace (arrival span)
-    trace_duration: float
-    #: label of the system / plan that produced the run (for reporting)
-    label: str = ""
+    One numpy column per :class:`~repro.core.types.RequestMetrics` field (plus
+    the request attributes the aggregates need), ordered by request id — the
+    fast engine writes these columns directly, so a run never holds per-request
+    Python objects.  Derived latencies (TTFT / TPOT / E2E and the component
+    breakdown) are computed vectorized with exactly the float64 operations of
+    the scalar :class:`~repro.core.types.RequestMetrics` properties, keeping
+    array-backed aggregates bitwise-identical to object-backed ones.
+
+    Parameters
+    ----------
+    request_id, arrival_time, input_length, output_length:
+        The request columns (``int64`` / ``float64`` / ``int64`` / ``int64``).
+    enqueue_time, prefill_start, first_token_time, kv_transfer_done, \
+completion_time:
+        Absolute event timestamps per request (``float64``; zero where the
+        request never reached the stage).
+    finished:
+        Completion flags (``bool``).
+    prefill_replica, decode_replica:
+        Serving-group ids the request was routed to (``int64``).
+    """
+
+    request_id: np.ndarray
+    arrival_time: np.ndarray
+    input_length: np.ndarray
+    output_length: np.ndarray
+    enqueue_time: np.ndarray
+    prefill_start: np.ndarray
+    first_token_time: np.ndarray
+    kv_transfer_done: np.ndarray
+    completion_time: np.ndarray
+    finished: np.ndarray
+    prefill_replica: np.ndarray
+    decode_replica: np.ndarray
+
+    def __len__(self) -> int:
+        return self.request_id.size
+
+    # ------------------------------------------------------------------ derived
+    def ttft(self) -> np.ndarray:
+        """Time to first token per request (arrival → first token)."""
+        return self.first_token_time - self.arrival_time
+
+    def tpot(self) -> np.ndarray:
+        """Time per output token per request (zero for single-token outputs)."""
+        extra = self.output_length - 1
+        out = np.zeros(len(self), dtype=np.float64)
+        multi = extra > 0
+        out[multi] = (self.completion_time[multi] - self.first_token_time[multi]) / extra[multi]
+        return out
+
+    def e2e_latency(self) -> np.ndarray:
+        """End-to-end latency per request (arrival → last token)."""
+        return self.completion_time - self.arrival_time
+
+    def value_for(self, slo_type: SLOType) -> np.ndarray:
+        """Latency column compared against an SLO of ``slo_type``."""
+        if slo_type is SLOType.TTFT:
+            return self.ttft()
+        if slo_type is SLOType.TPOT:
+            return self.tpot()
+        return self.e2e_latency()
+
+    # ------------------------------------------------------------------ objects
+    def materialize(
+        self,
+        requests: Optional[Sequence[Request]] = None,
+        workload_spans: Optional[Sequence[Tuple[int, str]]] = None,
+        row_order: Optional[np.ndarray] = None,
+    ) -> List[RequestMetrics]:
+        """Build the equivalent :class:`RequestMetrics` list.
+
+        Parameters
+        ----------
+        requests:
+            Backing :class:`Request` objects in column order (e.g. the original
+            trace requests); synthesized from the columns when omitted.
+        workload_spans:
+            ``(first_row, tag)`` pairs describing the workload tag of
+            contiguous ingestion-row ranges, used to tag synthesized requests.
+        row_order:
+            When the columns were reordered from ingestion order (sorted by
+            request id), the ingestion row behind each column position — lets
+            ``workload_spans`` (which speak ingestion rows) resolve correctly.
+        """
+        n = len(self)
+        ids = self.request_id.tolist()
+        arrivals = self.arrival_time.tolist()
+        inputs = self.input_length.tolist()
+        outputs = self.output_length.tolist()
+        if requests is None:
+            tags = self._resolve_workloads(n, workload_spans, row_order)
+            requests = [
+                Request(
+                    request_id=ids[i],
+                    arrival_time=arrivals[i],
+                    input_length=inputs[i],
+                    output_length=outputs[i],
+                    workload=tags[i],
+                )
+                for i in range(n)
+            ]
+        enq = self.enqueue_time.tolist()
+        pstart = self.prefill_start.tolist()
+        first = self.first_token_time.tolist()
+        kvd = self.kv_transfer_done.tolist()
+        comp = self.completion_time.tolist()
+        fin = self.finished.tolist()
+        prep = self.prefill_replica.tolist()
+        drep = self.decode_replica.tolist()
+        return [
+            RequestMetrics(
+                request=requests[i],
+                enqueue_time=enq[i],
+                prefill_start=pstart[i],
+                first_token_time=first[i],
+                kv_transfer_done=kvd[i],
+                completion_time=comp[i],
+                prefill_replica=prep[i],
+                decode_replica=drep[i],
+                finished=fin[i],
+            )
+            for i in range(n)
+        ]
+
+    @staticmethod
+    def _resolve_workloads(
+        n: int,
+        workload_spans: Optional[Sequence[Tuple[int, str]]],
+        row_order: Optional[np.ndarray],
+    ) -> List[str]:
+        if not workload_spans:
+            return ["generic"] * n
+        starts = [s for s, _ in workload_spans]
+        tags = [t for _, t in workload_spans]
+        rows = row_order.tolist() if row_order is not None else range(n)
+        return [tags[bisect_right(starts, r) - 1] for r in rows]
+
+
+class SimulationResult:
+    """Per-request metrics plus run-level aggregates of one simulation.
+
+    Construct with either ``metrics`` (a :class:`RequestMetrics` list, the
+    historical form) or via :meth:`from_arrays` (the fast engine's
+    struct-of-arrays form).  :attr:`metrics` is always available — array-backed
+    results materialize the object list lazily on first access — and every
+    aggregate returns identical values for both backings.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[List[RequestMetrics]] = None,
+        makespan: float = 0.0,
+        trace_duration: float = 0.0,
+        label: str = "",
+        arrays: Optional[MetricArrays] = None,
+        requests: Optional[Sequence[Request]] = None,
+        workload_spans: Optional[Sequence[Tuple[int, str]]] = None,
+        row_order: Optional[np.ndarray] = None,
+    ) -> None:
+        if metrics is None and arrays is None:
+            metrics = []
+        self._metrics = metrics
+        #: column backing of the run, or ``None`` for list-backed results
+        self.arrays = arrays
+        self._requests = requests
+        self._workload_spans = workload_spans
+        self._row_order = row_order
+        #: simulation time at which the last event was processed
+        self.makespan = makespan
+        #: wall-clock duration of the simulated request trace (arrival span)
+        self.trace_duration = trace_duration
+        #: label of the system / plan that produced the run (for reporting)
+        self.label = label
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: MetricArrays,
+        makespan: float,
+        trace_duration: float,
+        label: str = "",
+        requests: Optional[Sequence[Request]] = None,
+        workload_spans: Optional[Sequence[Tuple[int, str]]] = None,
+        row_order: Optional[np.ndarray] = None,
+    ) -> "SimulationResult":
+        """Wrap a :class:`MetricArrays` block as an array-backed result."""
+        return cls(
+            metrics=None,
+            makespan=makespan,
+            trace_duration=trace_duration,
+            label=label,
+            arrays=arrays,
+            requests=requests,
+            workload_spans=workload_spans,
+            row_order=row_order,
+        )
+
+    @property
+    def metrics(self) -> List[RequestMetrics]:
+        """Per-request metrics, ordered by request id (materialized lazily)."""
+        if self._metrics is None:
+            assert self.arrays is not None
+            self._metrics = self.arrays.materialize(
+                requests=self._requests,
+                workload_spans=self._workload_spans,
+                row_order=self._row_order,
+            )
+        return self._metrics
 
     # ------------------------------------------------------------------ basics
     @property
     def num_requests(self) -> int:
         """Number of requests injected."""
+        if self.arrays is not None:
+            return len(self.arrays)
         return len(self.metrics)
 
     @property
@@ -73,18 +288,31 @@ class SimulationResult:
     @property
     def num_finished(self) -> int:
         """Number of completed requests."""
+        if self.arrays is not None:
+            return int(np.count_nonzero(self.arrays.finished))
         return len(self.finished)
 
     @property
     def completion_rate(self) -> float:
         """Fraction of requests that completed within the simulation horizon."""
-        if not self.metrics:
+        if not self.num_requests:
             return 0.0
         return self.num_finished / self.num_requests
 
     # ------------------------------------------------------------------ latency
+    def _finished_values(self, slo_type: SLOType) -> Optional[np.ndarray]:
+        """Latency column of ``slo_type`` over finished requests (array path)."""
+        if self.arrays is None:
+            return None
+        return self.arrays.value_for(slo_type)[self.arrays.finished]
+
     def mean(self, slo_type: SLOType) -> float:
         """Mean latency of the given type over finished requests."""
+        values = self._finished_values(slo_type)
+        if values is not None:
+            if not values.size:
+                return float("nan")
+            return float(np.mean(values))
         finished = self.finished
         if not finished:
             return float("nan")
@@ -92,6 +320,11 @@ class SimulationResult:
 
     def percentile(self, slo_type: SLOType, q: float) -> float:
         """Latency percentile (``q`` in [0, 100]) of the given type."""
+        values = self._finished_values(slo_type)
+        if values is not None:
+            if not values.size:
+                return float("nan")
+            return float(np.percentile(values, q))
         finished = self.finished
         if not finished:
             return float("nan")
@@ -99,11 +332,40 @@ class SimulationResult:
 
     def summary(self) -> Dict[str, float]:
         """Mean latency component breakdown (see :func:`summarize_requests`)."""
-        return summarize_requests(self.metrics)
+        if self.arrays is None:
+            return summarize_requests(self.metrics)
+        a = self.arrays
+        fin = a.finished
+        count = int(np.count_nonzero(fin))
+        if not count:
+            return summarize_requests([])
+        queue = a.prefill_start[fin] - a.arrival_time[fin]
+        prefill = a.first_token_time[fin] - a.prefill_start[fin]
+        kv = np.maximum(0.0, a.kv_transfer_done[fin] - a.first_token_time[fin])
+        decode = np.maximum(0.0, a.completion_time[fin] - a.kv_transfer_done[fin])
+        return {
+            "num_finished": float(count),
+            "mean_ttft": float(np.mean(a.ttft()[fin])),
+            "mean_tpot": float(np.mean(a.tpot()[fin])),
+            "mean_e2e": float(np.mean(a.e2e_latency()[fin])),
+            "mean_queue": float(np.mean(queue)),
+            "mean_prefill": float(np.mean(prefill)),
+            "mean_kv_transfer": float(np.mean(kv)),
+            "mean_decode": float(np.mean(decode)),
+        }
 
     # ------------------------------------------------------------------ SLO
     def slo_attainment(self, slo: SLOSpec, slo_type: SLOType = SLOType.E2E) -> float:
         """Fraction of *all* requests meeting the SLO (unfinished requests miss)."""
+        if self.arrays is not None:
+            n = len(self.arrays)
+            if not n:
+                return 0.0
+            values = self.arrays.value_for(slo_type)
+            hits = np.count_nonzero(
+                self.arrays.finished & (values <= slo.deadline_for(slo_type))
+            )
+            return int(hits) / n
         if not self.metrics:
             return 0.0
         hits = sum(1 for m in self.metrics if slo.is_met(m, slo_type))
@@ -145,19 +407,26 @@ class SimulationResult:
     @property
     def output_token_throughput(self) -> float:
         """Generated tokens per second over the run (the paper's token throughput)."""
-        finished = self.finished
-        if not finished or self.makespan <= 0:
+        if self.makespan <= 0 or not self.num_finished:
             return 0.0
-        tokens = sum(m.request.output_length for m in finished)
+        if self.arrays is not None:
+            tokens = int(self.arrays.output_length[self.arrays.finished].sum())
+        else:
+            tokens = sum(m.request.output_length for m in self.finished)
         return tokens / self.makespan
 
     @property
     def total_token_throughput(self) -> float:
         """Prompt + generated tokens per second over the run."""
-        finished = self.finished
-        if not finished or self.makespan <= 0:
+        if self.makespan <= 0 or not self.num_finished:
             return 0.0
-        tokens = sum(m.request.total_tokens for m in finished)
+        if self.arrays is not None:
+            fin = self.arrays.finished
+            tokens = int(
+                self.arrays.input_length[fin].sum() + self.arrays.output_length[fin].sum()
+            )
+        else:
+            tokens = sum(m.request.total_tokens for m in self.finished)
         return tokens / self.makespan
 
     @property
@@ -192,4 +461,4 @@ def merge_results(
     )
 
 
-__all__ = ["SimulationResult", "summarize_requests", "merge_results"]
+__all__ = ["MetricArrays", "SimulationResult", "summarize_requests", "merge_results"]

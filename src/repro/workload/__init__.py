@@ -16,8 +16,13 @@ from repro.workload.spec import (
     CONVERSATION_WORKLOAD,
     get_workload,
 )
-from repro.workload.generator import PoissonArrivalGenerator, generate_requests
-from repro.workload.trace import Trace, merge_traces
+from repro.workload.generator import (
+    DEFAULT_CHUNK_SIZE,
+    DiurnalTimeWarp,
+    PoissonArrivalGenerator,
+    generate_requests,
+)
+from repro.workload.trace import RequestArrays, Trace, merge_traces
 from repro.workload.profiler import WorkloadProfiler, WorkloadShift
 
 __all__ = [
@@ -26,8 +31,11 @@ __all__ = [
     "CODING_WORKLOAD",
     "CONVERSATION_WORKLOAD",
     "get_workload",
+    "DEFAULT_CHUNK_SIZE",
+    "DiurnalTimeWarp",
     "PoissonArrivalGenerator",
     "generate_requests",
+    "RequestArrays",
     "Trace",
     "merge_traces",
     "WorkloadProfiler",

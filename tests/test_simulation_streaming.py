@@ -1,0 +1,219 @@
+"""Streamed simulation: ``run_stream`` vs ``run`` vs the per-event reference.
+
+``run_stream`` feeds the fast engine fixed-size struct-of-arrays chunks
+instead of a materialized trace.  The contract is strict: for any chunk size,
+the streamed run produces **bitwise-identical** per-request metrics, workload
+tags, makespan and trace span to the eager ``run`` on the concatenated trace —
+which in turn is bitwise-identical to the per-event reference oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.simulation.engine import ServingSimulator, SimulatorConfig
+from repro.workload.generator import DiurnalTimeWarp, PoissonArrivalGenerator
+from repro.workload.spec import CODING_WORKLOAD, CONVERSATION_WORKLOAD
+from repro.workload.trace import RequestArrays
+
+N = 120
+RATE = 3.0
+CHUNK_SIZES = (1, 17, 64, 3 * N)
+
+METRIC_FIELDS = (
+    "enqueue_time",
+    "prefill_start",
+    "first_token_time",
+    "kv_transfer_done",
+    "completion_time",
+    "prefill_replica",
+    "decode_replica",
+    "finished",
+)
+
+
+def _generator(seed: int = 3) -> PoissonArrivalGenerator:
+    return PoissonArrivalGenerator(
+        spec=CONVERSATION_WORKLOAD, request_rate=RATE, seed=seed
+    )
+
+
+def _simulator(cluster, plan, model, engine="fast", horizon=None) -> ServingSimulator:
+    config = SimulatorConfig(seed=0, engine=engine, max_sim_time=horizon)
+    return ServingSimulator(cluster, plan, model, config=config)
+
+
+def _assert_identical(a, b, check_workload=False):
+    assert len(a.metrics) == len(b.metrics)
+    for ma, mb in zip(a.metrics, b.metrics):
+        assert ma.request.request_id == mb.request.request_id
+        for name in METRIC_FIELDS:
+            assert getattr(ma, name) == getattr(mb, name), (
+                f"request {ma.request.request_id}: {name} "
+                f"{getattr(ma, name)!r} != {getattr(mb, name)!r}"
+            )
+        if check_workload:
+            assert ma.request.workload == mb.request.workload
+    assert a.makespan == b.makespan
+
+
+@pytest.fixture(scope="module")
+def arrays() -> RequestArrays:
+    return _generator().generate_arrays(N)
+
+
+class TestStreamedEqualsEager:
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_run_stream_matches_run_bitwise(
+        self, small_hetero_cluster, small_plan, model_30b, arrays, chunk_size
+    ):
+        eager = _simulator(small_hetero_cluster, small_plan, model_30b).run(
+            arrays.to_trace()
+        )
+        chunks = [
+            arrays.slice(lo, min(lo + chunk_size, N))
+            for lo in range(0, N, chunk_size)
+        ]
+        streamed = _simulator(small_hetero_cluster, small_plan, model_30b).run_stream(
+            chunks
+        )
+        _assert_identical(streamed, eager, check_workload=True)
+        assert streamed.trace_duration == eager.trace_duration
+
+    def test_generator_chunks_match_reference_oracle(
+        self, small_hetero_cluster, small_plan, model_30b
+    ):
+        warp = DiurnalTimeWarp(horizon=N / RATE * 1.5, period=N / RATE / 2, amplitude=0.4)
+        streamed = _simulator(small_hetero_cluster, small_plan, model_30b).run_stream(
+            _generator().iter_chunks(N, chunk_size=32, time_warp=warp)
+        )
+        trace = _generator().generate_arrays(N, time_warp=warp).to_trace()
+        reference = _simulator(
+            small_hetero_cluster, small_plan, model_30b, engine="reference"
+        ).run(trace)
+        _assert_identical(streamed, reference)
+
+    def test_empty_chunks_are_skipped(
+        self, small_hetero_cluster, small_plan, model_30b, arrays
+    ):
+        eager = _simulator(small_hetero_cluster, small_plan, model_30b).run(
+            arrays.to_trace()
+        )
+        half = N // 2
+        chunks = [
+            arrays.slice(0, 0),
+            arrays.slice(0, half),
+            arrays.slice(half, half),
+            arrays.slice(half, N),
+        ]
+        streamed = _simulator(small_hetero_cluster, small_plan, model_30b).run_stream(
+            chunks
+        )
+        _assert_identical(streamed, eager)
+
+    def test_label_propagates(self, small_hetero_cluster, small_plan, model_30b, arrays):
+        result = _simulator(small_hetero_cluster, small_plan, model_30b).run_stream(
+            [arrays], label="streamed"
+        )
+        assert result.label == "streamed"
+
+
+class TestMultiWorkloadStream:
+    def test_workload_tags_survive_spec_changes_mid_stream(
+        self, small_hetero_cluster, small_plan, model_30b
+    ):
+        first = _generator().generate_arrays(N // 2)
+        tail_gen = PoissonArrivalGenerator(
+            spec=CODING_WORKLOAD, request_rate=RATE, seed=5
+        )
+        second = tail_gen.generate_arrays(
+            N // 2,
+            start_time=float(first.arrival_time[-1]),
+            first_request_id=N // 2,
+        )
+        streamed = _simulator(small_hetero_cluster, small_plan, model_30b).run_stream(
+            [first, second]
+        )
+        from repro.workload.trace import Trace
+
+        eager_trace = Trace(
+            requests=first.to_trace().requests + second.to_trace().requests,
+            name="mixed",
+        )
+        eager = _simulator(small_hetero_cluster, small_plan, model_30b).run(eager_trace)
+        _assert_identical(streamed, eager, check_workload=True)
+        tags = [m.request.workload for m in streamed.metrics]
+        assert tags[: N // 2] == [CONVERSATION_WORKLOAD.name] * (N // 2)
+        assert tags[N // 2 :] == [CODING_WORKLOAD.name] * (N // 2)
+
+
+class TestHorizonTruncation:
+    def test_streamed_horizon_matches_eager_and_reference(
+        self, small_hetero_cluster, small_plan, model_30b, arrays
+    ):
+        horizon = float(arrays.arrival_time[N // 2])
+        chunks = [arrays.slice(lo, min(lo + 16, N)) for lo in range(0, N, 16)]
+        streamed = _simulator(
+            small_hetero_cluster, small_plan, model_30b, horizon=horizon
+        ).run_stream(chunks)
+        eager = _simulator(
+            small_hetero_cluster, small_plan, model_30b, horizon=horizon
+        ).run(arrays.to_trace())
+        reference = _simulator(
+            small_hetero_cluster,
+            small_plan,
+            model_30b,
+            engine="reference",
+            horizon=horizon,
+        ).run(arrays.to_trace())
+        _assert_identical(streamed, eager)
+        _assert_identical(streamed, reference)
+        assert len(streamed.metrics) < N
+
+
+class TestValidation:
+    def test_out_of_order_chunks_rejected(
+        self, small_hetero_cluster, small_plan, model_30b, arrays
+    ):
+        sim = _simulator(small_hetero_cluster, small_plan, model_30b)
+        with pytest.raises(SimulationError, match="time-ordered"):
+            sim.run_stream([arrays.slice(N // 2, N), arrays.slice(0, N // 2)])
+
+    def test_run_stream_reference_engine_falls_back_to_eager(
+        self, small_hetero_cluster, small_plan, model_30b, arrays
+    ):
+        chunks = [arrays.slice(0, N // 2), arrays.slice(N // 2, N)]
+        reference = _simulator(
+            small_hetero_cluster, small_plan, model_30b, engine="reference"
+        ).run_stream(chunks)
+        fast = _simulator(small_hetero_cluster, small_plan, model_30b).run(
+            arrays.to_trace()
+        )
+        _assert_identical(fast, reference)
+
+
+class TestResultArrays:
+    def test_streamed_result_metrics_sorted_by_request_id(
+        self, small_hetero_cluster, small_plan, model_30b, arrays
+    ):
+        result = _simulator(small_hetero_cluster, small_plan, model_30b).run_stream(
+            [arrays]
+        )
+        ids = [m.request.request_id for m in result.metrics]
+        assert ids == sorted(ids)
+
+    def test_streamed_summary_matches_eager_summary(
+        self, small_hetero_cluster, small_plan, model_30b, arrays
+    ):
+        streamed = _simulator(small_hetero_cluster, small_plan, model_30b).run_stream(
+            [arrays]
+        )
+        eager = _simulator(small_hetero_cluster, small_plan, model_30b).run(
+            arrays.to_trace()
+        )
+        s, e = streamed.summary(), eager.summary()
+        assert set(s) == set(e)
+        for key in s:
+            assert s[key] == pytest.approx(e[key], rel=0, abs=0), key

@@ -1,0 +1,152 @@
+"""Chunked trace generation: chunk-size invariance, stream isolation, bounded memory.
+
+The streaming generator's contract is that chunking is an implementation
+detail: for any chunk size — including 1 and larger-than-the-trace — the
+concatenated chunks reproduce the eager struct-of-arrays realization
+**bitwise**, with or without a diurnal time warp, and without perturbing the
+frozen legacy ``generate`` stream.  Memory use must be bounded by the chunk
+size, not the trace length.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.workload.generator import (
+    DiurnalTimeWarp,
+    PoissonArrivalGenerator,
+)
+from repro.workload.spec import CODING_WORKLOAD
+from repro.workload.trace import RequestArrays
+
+N = 200
+RATE = 5.0
+SEED = 7
+
+#: chunk sizes covering the degenerate and boundary cases: one row per chunk,
+#: a size that does not divide the trace, a typical size, exactly the trace,
+#: and larger than the trace (single chunk)
+CHUNK_SIZES = (1, 7, 64, N, 3 * N)
+
+
+def _generator(seed: int = SEED) -> PoissonArrivalGenerator:
+    return PoissonArrivalGenerator(spec=CODING_WORKLOAD, request_rate=RATE, seed=seed)
+
+
+def _warp() -> DiurnalTimeWarp:
+    return DiurnalTimeWarp(horizon=N / RATE * 1.5, period=N / RATE / 3.0, amplitude=0.4)
+
+
+def _assert_bitwise_equal(a: RequestArrays, b: RequestArrays) -> None:
+    assert a.workload == b.workload
+    assert a.request_id.tobytes() == b.request_id.tobytes()
+    assert a.arrival_time.tobytes() == b.arrival_time.tobytes()
+    assert a.input_length.tobytes() == b.input_length.tobytes()
+    assert a.output_length.tobytes() == b.output_length.tobytes()
+
+
+class TestChunkInvariance:
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_concat_matches_eager_bitwise(self, chunk_size):
+        eager = _generator().generate_arrays(N)
+        chunks = list(_generator().iter_chunks(N, chunk_size=chunk_size))
+        _assert_bitwise_equal(RequestArrays.concat(chunks), eager)
+
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_concat_matches_eager_bitwise_with_warp(self, chunk_size):
+        eager = _generator().generate_arrays(N, time_warp=_warp())
+        chunks = list(
+            _generator().iter_chunks(N, chunk_size=chunk_size, time_warp=_warp())
+        )
+        _assert_bitwise_equal(RequestArrays.concat(chunks), eager)
+
+    def test_chunk_shapes_and_id_continuity(self):
+        chunks = list(_generator().iter_chunks(N, chunk_size=64, first_request_id=10))
+        assert [len(c) for c in chunks] == [64, 64, 64, 8]
+        ids = np.concatenate([c.request_id for c in chunks])
+        assert ids.tolist() == list(range(10, 10 + N))
+        assert all(c.workload == CODING_WORKLOAD.name for c in chunks)
+
+    def test_start_time_offsets_first_arrival(self):
+        base = _generator().generate_arrays(N)
+        shifted = _generator().generate_arrays(N, start_time=100.0)
+        np.testing.assert_allclose(
+            shifted.arrival_time, base.arrival_time + 100.0, rtol=0, atol=1e-9
+        )
+
+    def test_arrivals_strictly_ordered_under_warp(self):
+        arrays = _generator().generate_arrays(N, time_warp=_warp())
+        assert np.all(np.diff(arrays.arrival_time) >= 0.0)
+
+
+class TestStreamIsolation:
+    def test_streaming_does_not_perturb_legacy_generate(self):
+        fresh = _generator().generate(num_requests=N)
+        gen = _generator()
+        list(gen.iter_chunks(N, chunk_size=32))
+        after = gen.generate(num_requests=N)
+        for a, b in zip(fresh.requests, after.requests):
+            assert a.arrival_time == b.arrival_time
+            assert a.input_length == b.input_length
+            assert a.output_length == b.output_length
+
+    def test_legacy_generate_does_not_perturb_streaming(self):
+        fresh = _generator().generate_arrays(N)
+        gen = _generator()
+        gen.generate(num_requests=N)
+        _assert_bitwise_equal(gen.generate_arrays(N), fresh)
+
+    def test_repeated_streams_restart_identically(self):
+        gen = _generator()
+        first = RequestArrays.concat(list(gen.iter_chunks(N, chunk_size=16)))
+        second = RequestArrays.concat(list(gen.iter_chunks(N, chunk_size=16)))
+        _assert_bitwise_equal(first, second)
+
+
+class TestValidation:
+    def test_negative_num_requests_rejected(self):
+        with pytest.raises(ValueError, match="num_requests"):
+            list(_generator().iter_chunks(-1))
+
+    def test_zero_chunk_size_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            list(_generator().iter_chunks(N, chunk_size=0))
+
+    def test_warp_amplitude_bounds(self):
+        with pytest.raises(ValueError, match="amplitude"):
+            DiurnalTimeWarp(horizon=10.0, amplitude=1.0)
+
+    def test_warp_rejects_times_beyond_horizon(self):
+        warp = DiurnalTimeWarp(horizon=10.0, period=5.0, amplitude=0.3)
+        with pytest.raises(ValueError, match="horizon"):
+            warp(np.array([10.0 / (1.0 - 0.3) + 5.0 + 1.0]))
+
+
+class TestBoundedMemory:
+    def test_streaming_peak_is_bounded_by_chunk_size(self):
+        """Consuming a 200k-request stream must not allocate the whole trace.
+
+        The eager realization holds four 200k-row columns (~6.4 MB); streamed
+        at 4096 rows per chunk the generator may only ever hold a few chunks'
+        worth of buffers, so the traced allocation peak must stay an order of
+        magnitude below the eager footprint.
+        """
+        total, chunk_size = 200_000, 4_096
+        gen = _generator()
+        consumed = 0
+        tracemalloc.start()
+        try:
+            for chunk in gen.iter_chunks(total, chunk_size=chunk_size):
+                consumed += len(chunk)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert consumed == total
+        eager_bytes = total * 4 * 8
+        assert peak < eager_bytes / 10, (
+            f"streamed peak {peak} bytes is not an order of magnitude below "
+            f"the eager footprint {eager_bytes} bytes"
+        )

@@ -2,8 +2,8 @@
 """Offline docstring gate for the documented packages.
 
 CI enforces pydocstyle (ruff's ``D`` rules, numpy convention) on
-``repro.serving`` and ``repro.scenarios`` — see ``[tool.ruff.lint]`` in
-``pyproject.toml``.  This script is the dependency-free mirror of the
+``repro.serving``, ``repro.scenarios``, ``repro.simulation`` and
+``repro.workload`` — see ``[tool.ruff.lint]`` in ``pyproject.toml``.  This script is the dependency-free mirror of the
 highest-signal subset of those rules, so the gate is runnable in offline
 environments where ruff is not installed:
 
@@ -16,7 +16,8 @@ environments where ruff is not installed:
   length (D407/D409).
 
 Run:  python tools/check_docstrings.py [paths...]
-Defaults to src/repro/serving and src/repro/scenarios.
+Defaults to src/repro/serving, src/repro/scenarios, src/repro/simulation and
+src/repro/workload.
 """
 
 from __future__ import annotations
@@ -104,6 +105,8 @@ def main(argv: List[str]) -> int:
     targets = [Path(a) for a in argv] or [
         root / "src" / "repro" / "serving",
         root / "src" / "repro" / "scenarios",
+        root / "src" / "repro" / "simulation",
+        root / "src" / "repro" / "workload",
     ]
     files: List[Path] = []
     for target in targets:
