@@ -53,6 +53,11 @@ from repro.workload.spec import CODING_WORKLOAD, WorkloadSpec
 from repro.workload.trace import Trace
 
 REDUCED = bool(int(os.environ.get("REPRO_BENCH_REDUCED", "0")))
+#: injector seed for the storm; the CI seed-matrix smoke overrides this to
+#: probe the failure lifecycle away from the committed baseline's seed
+#: (non-gating — see the chaos-seed-smoke job), so only the default seed's
+#: report may be compared against the committed baseline
+FAULT_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "25"))
 #: small attainment epsilon so a float tie never fails the ordering gates
 EPSILON = 1e-9
 #: absolute drift of adaptive worst-window attainment vs. the committed
@@ -137,8 +142,8 @@ def _run_total_loss() -> Tuple[int, str, bool]:
 
 def test_chaos_recovery_gate():
     t0 = time.perf_counter()
-    first = chaos_recovery.run()
-    second = chaos_recovery.run()
+    first = chaos_recovery.run(fault_seed=FAULT_SEED)
+    second = chaos_recovery.run(fault_seed=FAULT_SEED)
 
     deterministic = first.extras["fault_schedule"] == second.extras["fault_schedule"] and all(
         _snapshot(first.extras["reports"][m]) == _snapshot(second.extras["reports"][m])
@@ -174,6 +179,7 @@ def test_chaos_recovery_gate():
         "benchmark": "bench_chaos_recovery",
         "kind": "chaos_recovery",
         "mode": mode,
+        "fault_seed": FAULT_SEED,
         "fault_signature": first.extras["fault_signature"],
         "num_fault_events": len(first.extras["fault_schedule"]),
         "deterministic_replay": deterministic,

@@ -43,6 +43,23 @@ failure-lifecycle properties instead:
   ``CHAOS_DRIFT_SLACK`` from the committed baseline — the replay is
   deterministic, so only a genuine serving change can move it.
 
+Reports with ``"kind": "request_reliability"`` (the in-engine retry benchmark)
+gate the request-level fault semantics:
+
+* the bounded-retry arm must complete strictly more requests than the
+  drop-only arm under the identical seeded storm, with >= 1
+  ``retried_then_finished`` outcome on the retry side and >= 1
+  ``dropped_outage`` outcome on the drop-only side;
+* retry-arm SLO attainment must not fall below the drop-only arm's;
+* same-seed storm replay must be deterministic (identical ``fault_stats``
+  and per-window telemetry across two runs);
+* the streamed conservation leg must hold: every arrival maps to exactly one
+  terminal outcome (``stream_conserved`` true, outcome counts summing to the
+  trace size);
+* retry-arm attainment must not drift more than ``RELIABILITY_DRIFT_SLACK``
+  from the committed baseline — the storm is seeded end to end, so movement
+  means the engine's fault disposition changed.
+
 Reports with ``"kind": "megatrace"`` (the million-request streaming benchmark)
 gate the streaming-core contract:
 
@@ -99,6 +116,13 @@ GAP_DRIFT_SLACK = 0.03
 #: deterministic end to end, so movement means the serving or rescheduling
 #: behaviour changed and the baseline needs a deliberate regeneration.
 CHAOS_DRIFT_SLACK = 0.05
+
+#: Absolute movement of retry-arm SLO attainment vs. the committed
+#: request-reliability baseline above which the gate fails.  The storm is
+#: seeded end to end (trace, fault instants, retry jitter), so attainment can
+#: only move when the engine's fault-disposition behaviour changes — which
+#: needs a deliberate baseline regeneration, not a silent pass.
+RELIABILITY_DRIFT_SLACK = 0.05
 
 #: Fractional streamed-throughput loss vs. the committed megatrace baseline
 #: above which the gate fails.  Deliberately loose — throughput is an absolute
@@ -234,6 +258,98 @@ def compare_chaos(baseline: Dict, fresh: Dict) -> Tuple[List[str], List[str]]:
     return failures, warnings
 
 
+def compare_reliability(baseline: Dict, fresh: Dict) -> Tuple[List[str], List[str]]:
+    """Gate a request-reliability report (kind ``request_reliability``)."""
+    failures: List[str] = []
+    warnings: List[str] = []
+
+    if not fresh.get("deterministic_replay", False):
+        failures.append(
+            "deterministic_replay is false: the same-seed storm no longer "
+            "produces identical fault_stats and per-window telemetry"
+        )
+
+    retry_completed = fresh.get("retry_completed")
+    drop_completed = fresh.get("drop_completed")
+    if not isinstance(retry_completed, int) or not isinstance(drop_completed, int):
+        failures.append(
+            "retry_completed/drop_completed missing from the fresh report"
+        )
+    elif retry_completed <= drop_completed:
+        failures.append(
+            f"retry no longer beats drop-only: {retry_completed} vs "
+            f"{drop_completed} completed under the identical storm"
+        )
+
+    for key, label in (
+        ("retry_recovered", "retried_then_finished outcome on the retry arm"),
+        ("drop_dropped", "dropped_outage outcome on the drop-only arm"),
+    ):
+        count = fresh.get(key)
+        if not isinstance(count, int) or count < 1:
+            failures.append(
+                f"no {label} ({key} is {count!r}); the storm no longer "
+                "exercises the disposition path under test"
+            )
+
+    try:
+        retry_att = float(fresh["retry_attainment"])
+        drop_att = float(fresh["drop_attainment"])
+    except (KeyError, TypeError, ValueError):
+        failures.append("retry/drop attainment missing from the fresh report")
+    else:
+        if retry_att < drop_att - 1e-9:
+            failures.append(
+                f"retry attainment {retry_att:.3f} fell below drop-only's "
+                f"{drop_att:.3f} under the identical storm"
+            )
+
+    if not fresh.get("stream_conserved", False):
+        failures.append(
+            "outcome conservation broke at streaming scale: "
+            f"{fresh.get('stream_conservation_error') or 'unknown error'}"
+        )
+    outcomes = fresh.get("stream_outcomes")
+    total = fresh.get("stream_num_requests")
+    if not isinstance(outcomes, dict) or not isinstance(total, int):
+        failures.append(
+            "stream_outcomes/stream_num_requests missing from the fresh report"
+        )
+    elif sum(outcomes.values()) != total:
+        failures.append(
+            f"stream outcomes sum to {sum(outcomes.values())}, expected {total}"
+        )
+
+    try:
+        base_att = float(baseline["retry_attainment"])
+        fresh_att = float(fresh["retry_attainment"])
+    except (KeyError, TypeError, ValueError):
+        failures.append("retry_attainment missing from baseline or fresh report")
+    else:
+        if abs(fresh_att - base_att) > RELIABILITY_DRIFT_SLACK:
+            failures.append(
+                f"retry-arm attainment drifted from {base_att:.3f} to "
+                f"{fresh_att:.3f} (> {RELIABILITY_DRIFT_SLACK} slack); the "
+                "storm is seeded, so if the disposition change is "
+                "intentional, regenerate the baseline"
+            )
+
+    base_wall = baseline.get("elapsed_s")
+    fresh_wall = fresh.get("elapsed_s")
+    if (
+        isinstance(base_wall, (int, float))
+        and isinstance(fresh_wall, (int, float))
+        and base_wall > 0
+        and fresh_wall > WALLCLOCK_WARN_FACTOR * base_wall
+    ):
+        warnings.append(
+            f"benchmark wall clock grew {fresh_wall / base_wall:.1f}x "
+            f"({base_wall:.2f}s -> {fresh_wall:.2f}s); non-gating (runner noise)"
+        )
+
+    return failures, warnings
+
+
 def compare_megatrace(baseline: Dict, fresh: Dict) -> Tuple[List[str], List[str]]:
     """Gate a million-request streaming report (kind ``megatrace``)."""
     failures: List[str] = []
@@ -308,6 +424,7 @@ def compare(
         "estimator_agreement": compare_agreement,
         "chaos_recovery": compare_chaos,
         "megatrace": compare_megatrace,
+        "request_reliability": compare_reliability,
     }
     kinds = (baseline.get("kind"), fresh.get("kind"))
     if any(kind in special_kinds for kind in kinds):
@@ -401,6 +518,14 @@ def check_pair(baseline_path: str, fresh_path: str, max_regression: float) -> in
             f"OK: [{name}] spot window bitwise-identical, "
             f"{fresh['num_finished_fast']}/{fresh['num_requests']} drained, "
             f"{fresh['requests_per_s']:,.0f} req/s "
+            f"(mode {fresh.get('mode')!r})"
+        )
+    elif fresh.get("kind") == "request_reliability":
+        print(
+            f"OK: [{name}] retry completed {fresh['retry_completed']} "
+            f"({fresh['retry_recovered']} after retry) vs drop-only "
+            f"{fresh['drop_completed']}, deterministic replay, "
+            f"{fresh['stream_num_requests']} streamed requests conserved "
             f"(mode {fresh.get('mode')!r})"
         )
     elif fresh.get("kind") == "chaos_recovery":

@@ -17,15 +17,30 @@ This package models that lifecycle:
   machine that folds fault events into a degraded cluster view (removed GPU
   set, link scaling, straggler slowdowns, total-loss outage detection)
   without ever double-removing or resurrecting unknown GPUs.
+* :mod:`repro.faults.timeline` — :class:`ReplicaFaultEvent` /
+  :class:`FaultTimeline` / :func:`compile_fault_timeline`: GPU-level capacity
+  events compiled into replica-level death/revival timelines the simulation
+  engines apply *inside* a run, at the exact fault instant.
+* :mod:`repro.faults.retry` — :class:`RetryPolicy`: bounded attempts,
+  exponential backoff with deterministic per-request jitter, and optional
+  per-request deadlines governing the typed disposition of in-flight work.
 
-The live serving loop (:class:`~repro.serving.live.LiveServer`) applies
-compiled schedules between windows; see ``docs/architecture.md`` for the
-end-to-end wiring.
+The live serving loop (:class:`~repro.serving.live.LiveServer`) compiles the
+intra-window slice of its schedule into a timeline handed to the engine and
+keeps folding cluster-level state (links, stragglers, replanning) between
+windows; see ``docs/architecture.md`` for the end-to-end wiring.
 """
 
 from repro.faults.injector import FaultInjector, FaultProcess
+from repro.faults.retry import RetryPolicy, fault_uniform
 from repro.faults.state import AppliedFault, ClusterFaultState
 from repro.faults.taxonomy import FaultEvent, FaultKind, FaultSchedule
+from repro.faults.timeline import (
+    FaultTimeline,
+    ReplicaFaultEvent,
+    compile_fault_timeline,
+    timeline_from_windows,
+)
 
 __all__ = [
     "FaultKind",
@@ -35,4 +50,10 @@ __all__ = [
     "FaultInjector",
     "ClusterFaultState",
     "AppliedFault",
+    "RetryPolicy",
+    "fault_uniform",
+    "FaultTimeline",
+    "ReplicaFaultEvent",
+    "compile_fault_timeline",
+    "timeline_from_windows",
 ]

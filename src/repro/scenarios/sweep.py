@@ -8,9 +8,12 @@ parallelism are safe.  ``executor="process"`` runs each scenario in its own
 interpreter (plans, clusters and scenarios are picklable value objects), letting
 long multi-scenario sweeps escape the GIL — the simulators are pure Python, so
 threads serialise on long traces.  Failure-injection scenarios are served
-window-by-window, applying each :class:`~repro.scenarios.base.FailureEvent` with
-lightweight rescheduling between windows, and the per-window results are merged
-into one scenario outcome.
+segment-by-segment: each :class:`~repro.scenarios.base.FailureEvent` is compiled
+into a replica-level fault timeline the engine applies *inside* the segment's
+run (preempting in-flight work at the exact fault instant, retried under the
+sweep's :class:`~repro.faults.RetryPolicy`), lightweight rescheduling runs
+between segments, and the per-segment results are merged into one scenario
+outcome.
 """
 
 from __future__ import annotations
@@ -23,9 +26,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.exceptions import ConfigurationError, SchedulingError
 from repro.core.rng import ensure_rng
-from repro.core.types import RequestMetrics, SLOType
+from repro.core.types import RequestMetrics, RequestOutcome, SLOType
 from repro.costmodel.latency import CostModelParams, DEFAULT_PARAMS
 from repro.costmodel.reference import a100_reference_latency
+from repro.faults.retry import RetryPolicy
+from repro.faults.taxonomy import FaultEvent, FaultKind, FaultSchedule
+from repro.faults.timeline import compile_fault_timeline
 from repro.hardware.cluster import Cluster
 from repro.model.architecture import ModelConfig
 from repro.scenarios.base import Scenario
@@ -76,6 +82,9 @@ class ScenarioOutcome:
     #: failure-path windows that arrived while no capacity could serve (their
     #: requests are recorded as zero-attainment misses, not dropped silently)
     num_outage_windows: int = 0
+    #: request count per :class:`~repro.core.types.RequestOutcome` name over
+    #: the merged result (empty only for ``on_error="zero"`` failures)
+    outcome_counts: Dict[str, int] = field(default_factory=dict)
 
 
 class ScenarioSweep:
@@ -118,6 +127,11 @@ class ScenarioSweep:
         :class:`~repro.serving.live.LiveServeConfig` for adaptive serving
         (window length, SLO-objective config, admission ceiling); defaults to
         ``LiveServeConfig()``.  Ignored unless ``adaptive`` is true.
+    retry_policy:
+        :class:`~repro.faults.RetryPolicy` governing the in-engine disposition
+        of work preempted by a :class:`~repro.scenarios.base.FailureEvent`.
+        ``None`` (default) is drop-only: preempted requests are recorded as
+        ``dropped_outage``.
     """
 
     EXECUTORS = ("thread", "process")
@@ -135,6 +149,7 @@ class ScenarioSweep:
         on_error: str = "raise",
         adaptive: bool = False,
         live_config: Optional[LiveServeConfig] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.scenarios: Tuple[Scenario, ...] = (
             tuple(scenarios) if scenarios is not None else default_scenarios()
@@ -157,6 +172,7 @@ class ScenarioSweep:
         self.params = params
         self.adaptive = adaptive
         self.live_config = live_config
+        self.retry_policy = retry_policy
 
     # ------------------------------------------------------------------ seeds
     def _derive_seed(self, text: str, salt: str) -> int:
@@ -292,6 +308,7 @@ class ScenarioSweep:
             windows=windows,
             reschedule_overhead_s=reschedule_overhead_s,
             num_outage_windows=num_outage_windows,
+            outcome_counts={k: int(v) for k, v in result.outcome_counts().items()},
         )
 
     def _validate_failure_schedule(
@@ -337,16 +354,23 @@ class ScenarioSweep:
         label: str,
         mode: str = "lightweight",
     ) -> Tuple[SimulationResult, float, int]:
-        """Serve a trace window-by-window, applying preemptions between windows.
+        """Serve a trace segment-by-segment with in-engine fault application.
 
-        ``mode`` selects the per-failure replan strategy (see
-        :meth:`~repro.serving.system.ThunderServe.replan_capacity`); each
-        successful replan is priced with the Table 4
+        Each :class:`~repro.scenarios.base.FailureEvent` is resolved to victim
+        GPUs, compiled into a replica-level fault timeline against the plan
+        currently serving, and handed to the engine together with the segment
+        of arrivals preceding it — so work still in flight at the fault
+        instant is preempted *inside* the run and disposed under the sweep's
+        :class:`~repro.faults.RetryPolicy` instead of finishing on hardware
+        that no longer exists.  Between segments ``mode`` selects the replan
+        strategy (see :meth:`~repro.serving.system.ThunderServe.replan_capacity`);
+        each successful replan is priced with the Table 4
         :class:`~repro.scheduling.rescheduling.ReschedulingOverheadModel`.  A
         strategy that cannot produce a servable plan falls back to dropping
-        dead groups, and a total capacity loss degrades gracefully: the
-        remaining windows are recorded as zero-attainment outages (every
-        arrival an unfinished SLO miss) instead of aborting the sweep.
+        dead groups, and a total capacity loss — reachable by count-based
+        events asking for every surviving GPU — degrades gracefully: the
+        remaining segments are recorded as zero-attainment outages (every
+        arrival a ``dropped_outage`` miss) instead of aborting the sweep.
 
         Returns
         -------
@@ -363,21 +387,41 @@ class ScenarioSweep:
         window_start = float("-inf")
         for k, event in enumerate(events):
             window = trace.window(window_start, event.time)
-            if not window.is_empty:
-                if dead:
-                    results.append(_outage_result(window, f"{label}[{k}]"))
-                    outage_windows += 1
-                else:
-                    results.append(system.serve(window, label=f"{label}[{k}]"))
             window_start = event.time
             if dead:
+                if not window.is_empty:
+                    results.append(_outage_result(window, f"{label}[{k}]"))
+                    outage_windows += 1
                 continue
             alive = sorted(system.cluster.gpu_ids)
             if event.gpu_ids is not None:
                 victims = [g for g in event.gpu_ids if g in alive]
             else:
-                count = min(event.num_gpus, max(0, len(alive) - 1))
+                count = min(event.num_gpus, len(alive))
                 victims = [int(g) for g in rng.choice(alive, size=count, replace=False)]
+            if not window.is_empty:
+                faults = None
+                if victims:
+                    schedule = FaultSchedule.from_events(
+                        [
+                            FaultEvent(
+                                time=event.time,
+                                kind=FaultKind.GPU_PREEMPTION,
+                                gpu_ids=tuple(victims),
+                            )
+                        ]
+                    )
+                    faults = (
+                        compile_fault_timeline(schedule, system.require_plan()) or None
+                    )
+                results.append(
+                    system.serve(
+                        window,
+                        label=f"{label}[{k}]",
+                        faults=faults,
+                        retry=self.retry_policy,
+                    )
+                )
             if not victims:
                 continue
             if len(victims) >= len(alive):
@@ -486,10 +530,14 @@ def _outage_result(window: Trace, label: str) -> SimulationResult:
     """Zero-attainment result of a window that arrived during a total outage.
 
     Every arrival becomes an unfinished :class:`~repro.core.types.RequestMetrics`
-    record, which the attainment accounting counts as an SLO miss — the window
-    reports attainment 0 without losing its requests from the merged result.
+    record with outcome ``dropped_outage``, which the attainment accounting
+    counts as an SLO miss — the window reports attainment 0 without losing its
+    requests from the merged result.
     """
-    metrics = [RequestMetrics(request=request) for request in window]
+    metrics = [
+        RequestMetrics(request=request, outcome=RequestOutcome.DROPPED_OUTAGE)
+        for request in window
+    ]
     arrivals = [request.arrival_time for request in window]
     duration = (max(arrivals) - min(arrivals)) if len(arrivals) >= 2 else 0.0
     return SimulationResult(

@@ -20,7 +20,12 @@ from repro.serving.live import (
     WindowTelemetry,
     plan_signature,
 )
-from repro.serving.monitor import GPUFailure, HeartbeatMonitor, SLOBreachTracker
+from repro.serving.monitor import (
+    GPUFailure,
+    GPURecovery,
+    HeartbeatMonitor,
+    SLOBreachTracker,
+)
 from repro.serving.slo_objectives import (
     BreachEvent,
     ObjectiveOutcome,
@@ -37,6 +42,7 @@ __all__ = [
     "RequestCoordinator",
     "HeartbeatMonitor",
     "GPUFailure",
+    "GPURecovery",
     "SLOBreachTracker",
     "ThunderServe",
     "ServeEvent",

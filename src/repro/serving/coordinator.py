@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.exceptions import InvalidPlanError
-from repro.core.types import Request
+from repro.core.types import OUTCOME_NAMES, Request
 from repro.scheduling.deployment import DeploymentPlan, RoutingPolicy
 
 
@@ -61,6 +61,10 @@ class RequestCoordinator:
         self._shed_by_tag: Dict[str, int] = {}
         self._outage_dropped = 0
         self._outage_dropped_by_tag: Dict[str, int] = {}
+        # Run-level ledger over the typed RequestOutcome taxonomy: engine
+        # outcomes fold in through record_outcomes(); shed / outage drops
+        # (which never reach the engine) through their record_* calls.
+        self._outcome_totals: Dict[str, int] = {name: 0 for name in OUTCOME_NAMES}
 
     # ------------------------------------------------------------------ dispatch
     def assign(self, request: Request) -> Tuple[int, int]:
@@ -99,6 +103,7 @@ class RequestCoordinator:
         self._shed += 1
         tag = request.workload or ""
         self._shed_by_tag[tag] = self._shed_by_tag.get(tag, 0) + 1
+        self._outcome_totals["shed"] += 1
 
     def record_outage_drop(self, request: Request) -> None:
         """Account for a request lost to a total-capacity outage.
@@ -111,6 +116,22 @@ class RequestCoordinator:
         self._outage_dropped += 1
         tag = request.workload or ""
         self._outage_dropped_by_tag[tag] = self._outage_dropped_by_tag.get(tag, 0) + 1
+        self._outcome_totals["dropped_outage"] += 1
+
+    def record_outcomes(self, counts: Dict[str, int]) -> None:
+        """Fold one simulation run's outcome counts into the run-level ledger.
+
+        ``counts`` is the mapping returned by
+        :meth:`~repro.simulation.metrics.SimulationResult.outcome_counts`
+        (request count per :class:`~repro.core.types.RequestOutcome` name).
+        Shed and outage-dropped requests never reach the engine, so their
+        dedicated ``record_*`` calls keep the ledger complete; callers must
+        not fold the same result twice.
+        """
+        for name, count in counts.items():
+            if name not in self._outcome_totals:
+                raise KeyError(f"unknown request outcome {name!r}")
+            self._outcome_totals[name] += int(count)
 
     def complete(self, request_id: int) -> None:
         """Mark a request finished (releases its outstanding-work accounting)."""
@@ -149,6 +170,11 @@ class RequestCoordinator:
     def outage_dropped_by_tag(self) -> Dict[str, int]:
         """Outage-dropped request counts keyed by ``Request.workload`` tag."""
         return dict(self._outage_dropped_by_tag)
+
+    @property
+    def outcome_totals(self) -> Dict[str, int]:
+        """Run-level request count per :class:`~repro.core.types.RequestOutcome` name."""
+        return dict(self._outcome_totals)
 
     def outstanding(self, prefill_group_id: int) -> int:
         """Outstanding (dispatched, not completed) requests of one prefill replica."""

@@ -22,14 +22,19 @@ window it
    lightweight rescheduler online, so the next window is served by a plan
    re-designated for the observed workload; and
 6. optionally replays a :class:`~repro.faults.FaultSchedule` against the loop:
-   fault events take effect at window boundaries, capacity loss triggers a
+   capacity events inside the window are compiled into a replica-level
+   :class:`~repro.faults.FaultTimeline` and handed to the engine, which
+   preempts in-flight work at the exact fault instant and retries it under the
+   configured :class:`~repro.faults.RetryPolicy`; at the next window boundary
+   the same events fold into the cluster state, where capacity loss triggers a
    failure replan chain with bounded retry/backoff, capacity recovery triggers
    a (shadow-validated) re-expansion replan, network degradation and straggler
    slowdowns reprice the engine transparently, and a total-capacity outage
    degrades gracefully to zero-attainment windows instead of crashing the run.
 
-Plan changes only happen *between* windows, which makes the loop auditable:
-replaying each window's sub-trace against its recorded plan in independent
+Plan changes only happen *between* windows, which keeps the loop auditable:
+replaying each window's sub-trace against its recorded plan — and, for windows
+with mid-window faults, the same compiled fault timeline — in independent
 batch simulations reproduces the live run's metrics exactly (the
 piecewise-static equivalence contract, enforced by the test suite).
 
@@ -55,9 +60,11 @@ from typing import (
 import numpy as np
 
 from repro.core.exceptions import InvalidPlanError, SchedulingError
-from repro.core.types import RequestMetrics, SLOType
+from repro.core.types import OUTCOME_NAMES, RequestMetrics, RequestOutcome, SLOType
+from repro.faults.retry import RetryPolicy
 from repro.faults.state import ClusterFaultState
-from repro.faults.taxonomy import CAPACITY_LOSS_KINDS, FaultSchedule
+from repro.faults.taxonomy import CAPACITY_LOSS_KINDS, FaultKind, FaultSchedule
+from repro.faults.timeline import FaultTimeline, compile_fault_timeline
 from repro.scheduling.deployment import DeploymentPlan, RoutingPolicy
 from repro.scheduling.estimator import SLOEstimator
 from repro.serving.monitor import SLOBreachTracker
@@ -154,6 +161,9 @@ class WindowTelemetry:
     num_gpus_alive: int = -1
     #: capacity replan installed at this window's start (``""``/``failure``/``recovery``)
     replan_trigger: str = ""
+    #: request count per :class:`~repro.core.types.RequestOutcome` name,
+    #: including admission sheds (sums to ``num_requests + num_shed``)
+    outcome_counts: Dict[str, int] = field(default_factory=dict)
 
     def snapshot(self) -> Dict[str, float]:
         """Return the metric mapping SLO objectives are evaluated against."""
@@ -169,6 +179,15 @@ class WindowTelemetry:
             "request_rate": self.request_rate,
             "num_requests": float(self.num_requests),
             "shed_fraction": self.num_shed / total if total else 0.0,
+            "failed_fraction": (
+                (
+                    self.outcome_counts.get("timed_out", 0)
+                    + self.outcome_counts.get("dropped_outage", 0)
+                )
+                / total
+                if total
+                else 0.0
+            ),
         }
 
     def to_dict(self) -> Dict[str, object]:
@@ -198,6 +217,7 @@ class WindowTelemetry:
             "faults": list(self.faults),
             "num_gpus_alive": self.num_gpus_alive,
             "replan_trigger": self.replan_trigger,
+            "outcome_counts": dict(self.outcome_counts),
         }
 
     @classmethod
@@ -230,6 +250,10 @@ class WindowTelemetry:
             faults=tuple(str(f) for f in data.get("faults", ())),  # type: ignore[union-attr]
             num_gpus_alive=int(data.get("num_gpus_alive", -1)),  # type: ignore[arg-type]
             replan_trigger=str(data.get("replan_trigger", "")),
+            outcome_counts={
+                str(k): int(v)  # type: ignore[call-overload]
+                for k, v in dict(data.get("outcome_counts", {})).items()  # type: ignore[call-overload]
+            },
         )
 
 
@@ -268,9 +292,21 @@ class LiveServeConfig:
         :meth:`~repro.serving.system.ThunderServe.replan_capacity`).
     faults:
         Optional :class:`~repro.faults.FaultSchedule` to replay against the
-        loop.  Events take effect at the boundary of the window containing
-        their timestamp, keeping the piecewise-static contract: within a
-        window the serving configuration never changes.
+        loop.  Capacity events (preemption, crash, recovery) inside a window
+        are compiled into a replica-level timeline and applied *by the engine*
+        at the exact fault instant — in-flight work on a dead replica is
+        preempted and retried under ``retry_policy``; at the next window
+        boundary the same events fold into the cluster state and drive
+        replanning.  Non-capacity events (links, stragglers) still take effect
+        at the boundary of the window containing their timestamp, keeping the
+        piecewise-static contract: within a window the *plan* never changes.
+    retry_policy:
+        :class:`~repro.faults.RetryPolicy` governing the disposition of work
+        preempted by mid-window capacity loss (attempt budget, backoff,
+        deadline).  ``None`` (default) inherits the engine default — a
+        bounded-retry :class:`~repro.faults.RetryPolicy` with exponential
+        backoff; pass :meth:`~repro.faults.RetryPolicy.drop_only` to cancel
+        preempted work instead.
     reschedule_on_failure:
         React to capacity loss by replanning through ``failure_mode_order``.
         When off, dead serving groups are still dropped (mode ``"none"``) so
@@ -316,6 +352,7 @@ class LiveServeConfig:
     reschedule_on_shift: bool = True
     validate_reschedule: bool = True
     faults: Optional[FaultSchedule] = None
+    retry_policy: Optional[RetryPolicy] = None
     reschedule_on_failure: bool = True
     reschedule_on_recovery: bool = True
     failure_mode_order: Tuple[str, ...] = ("lightweight", "none")
@@ -413,7 +450,10 @@ class LiveServeReport:
             — mean delay from a capacity loss taking effect to the next
             successful replan (0 when replanned at the same boundary);
             ``mean_mttr_s`` — mean time between a capacity-loss event and the
-            recovery event that revived its GPUs.
+            recovery event that revived its GPUs; ``requests_<outcome>`` — the
+            run-level request count per
+            :class:`~repro.core.types.RequestOutcome` name, summed over the
+            windowed ``outcome_counts``.
         """
         windows = self.windows
         degraded = [w.attainment_e2e for w in windows if w.degraded]
@@ -443,7 +483,12 @@ class LiveServeReport:
         def _mean(values: List[float], default: float) -> float:
             return float(np.mean(values)) if values else default
 
+        outcome_totals = {name: 0 for name in OUTCOME_NAMES}
+        for w in windows:
+            for name, count in w.outcome_counts.items():
+                outcome_totals[name] = outcome_totals.get(name, 0) + int(count)
         return {
+            **{f"requests_{name}": float(n) for name, n in outcome_totals.items()},
             "outage_windows": float(sum(1 for w in windows if w.outage)),
             "degraded_windows": float(len(degraded)),
             "attainment_under_failure": _mean(degraded, 1.0),
@@ -670,6 +715,8 @@ class LiveServer:
         for tenant, metrics in sorted(tenant_metrics.items()):
             hits = sum(1 for m in metrics if slo.is_met(m, SLOType.E2E))
             per_tenant[tenant] = hits / len(metrics)
+        outcome_counts = {k: int(v) for k, v in result.outcome_counts().items()}
+        outcome_counts["shed"] = outcome_counts.get("shed", 0) + num_shed
         return WindowTelemetry(
             index=index,
             start=start,
@@ -688,6 +735,7 @@ class LiveServer:
             estimated_rho=health.rho,
             estimated_attainment=health.attainment,
             per_tenant_attainment=per_tenant,
+            outcome_counts=outcome_counts,
         )
 
     # ------------------------------------------------------------------ loop
@@ -722,10 +770,11 @@ class LiveServer:
         window_start = start
         index = 0
         while window_start <= end:
-            window_end = window_start + config.window_s
-            window = trace.window(window_start, window_end)
+            w_start = window_start
+            window_end = w_start + config.window_s
+            window = trace.window(w_start, window_end)
             window_start = window_end
-            sync = self._apply_due_faults(window_end, label)
+            sync = self._apply_due_faults(w_start, label)
             if sync is not None and self._carry_sync is not None:
                 sync = _merge_sync(self._carry_sync, sync)
                 self._carry_sync = None
@@ -735,7 +784,7 @@ class LiveServer:
             self._degraded_now = bool(sync is not None and sync.degraded)
             if sync is not None and sync.unservable:
                 telemetry, result, served_plan = self._outage_window(
-                    index, window_end - config.window_s, window_end, window, sync, label
+                    index, w_start, window_end, window, sync, label
                 )
                 if self.on_window is not None:
                     self.on_window(telemetry)
@@ -744,17 +793,27 @@ class LiveServer:
                 continue
             served_plan = system.require_plan()
             served_plan_id = plan_signature(served_plan)
+            faults, fault_notes = self._intra_window_faults(w_start, window_end)
+            if faults is not None:
+                self._degraded_now = True
             health = self.plan_health(window)
             admitted, num_shed = self._admit(window, health)
-            result = system.serve(admitted, label=f"{label}[{index}]")
+            result = system.serve(
+                admitted,
+                label=f"{label}[{index}]",
+                faults=faults,
+                retry=config.retry_policy,
+            )
             system.monitor.heartbeat_all(window_end)
             telemetry = self._measure(
-                index, window_end - config.window_s, window_end, result, health,
+                index, w_start, window_end, result, health,
                 num_shed, served_plan_id,
             )
+            if system.coordinator is not None:
+                system.coordinator.record_outcomes(result.outcome_counts())
             if sync is not None:
-                telemetry.faults = sync.descriptions
-                telemetry.degraded = sync.degraded
+                telemetry.faults = sync.descriptions + fault_notes
+                telemetry.degraded = sync.degraded or faults is not None
                 telemetry.num_gpus_alive = sync.num_alive
                 telemetry.replan_trigger = sync.trigger
             profile, objectives = resolve_slo_objectives(slo_config, telemetry.snapshot())
@@ -773,29 +832,34 @@ class LiveServer:
                 self.on_window(telemetry)
             yield telemetry, result, served_plan
             index += 1
+        # Fold the final window's events so the fault log covers the whole run
+        # (the loop exits before their boundary would otherwise come due).
+        self._apply_due_faults(window_start, label)
 
     # ------------------------------------------------------------------ faults
-    def _apply_due_faults(self, window_end: float, label: str) -> Optional[_FaultSync]:
-        """Fold fault events due before ``window_end`` into the serving system.
+    def _apply_due_faults(self, boundary: float, label: str) -> Optional[_FaultSync]:
+        """Fold fault events due before the ``boundary`` into the serving system.
 
-        Events are applied through the :class:`ClusterFaultState` (idempotent
-        against overlapping fail/recover sequences), the system's cluster,
-        network and straggler view is re-synced, and capacity changes trigger
-        the failure/recovery replan chain.  Returns ``None`` when fault
-        injection is off.
+        ``boundary`` is the start of the window about to be served: events
+        from already-served windows (whose capacity effect the engine already
+        applied in-run) are folded through the :class:`ClusterFaultState`
+        (idempotent against overlapping fail/recover sequences), the system's
+        cluster, network and straggler view is re-synced, and capacity changes
+        trigger the failure/recovery replan chain.  Events inside the upcoming
+        window stay pending — :meth:`_intra_window_faults` compiles them for
+        the engine.  Returns ``None`` when fault injection is off.
         """
         state = self._fault_state
         if state is None:
             return None
         system = self.system
         config = self.config
-        window_start = window_end - config.window_s
         descriptions: List[str] = []
         lost: set = set()
         gained: set = set()
         network_changed = False
         slowdown_changed = False
-        while self._pending_faults and self._pending_faults[0].time < window_end:
+        while self._pending_faults and self._pending_faults[0].time < boundary:
             event = self._pending_faults.pop(0)
             delta = state.apply(event)
             descriptions.append(event.describe())
@@ -807,7 +871,7 @@ class LiveServer:
                 "time": event.time,
                 "kind": event.kind.value,
                 "gpu_ids": list(event.gpu_ids),
-                "applied_at": window_start,
+                "applied_at": boundary,
                 "replan_trigger": "",
                 "replan_ok": False,
             }
@@ -862,7 +926,7 @@ class LiveServer:
             for entry in self._awaiting_replan:
                 entry["replan_trigger"] = trigger
                 entry["replan_ok"] = True
-                entry["replanned_at"] = window_start
+                entry["replanned_at"] = boundary
             self._awaiting_replan = []
         return _FaultSync(
             descriptions=tuple(descriptions),
@@ -872,6 +936,41 @@ class LiveServer:
             num_alive=len(alive),
             outage=False,
         )
+
+    def _intra_window_faults(
+        self, start: float, end: float
+    ) -> Tuple[Optional[FaultTimeline], Tuple[str, ...]]:
+        """Compile the upcoming window's capacity events into an engine timeline.
+
+        Peeks — without consuming — the pending fault events whose timestamps
+        fall inside ``[start, end)`` and compiles the capacity subset
+        (preemption, crash, recovery) against the installed plan into a
+        :class:`~repro.faults.FaultTimeline` the engine applies mid-run,
+        preempting and retrying in-flight work at the exact fault instant.
+        The events stay pending: they fold into the cluster state — and drive
+        replanning — at the next window boundary.  Recovery of capacity that
+        was already dead when the window began compiles to nothing (the plan
+        no longer contains those GPUs); it takes effect through the boundary
+        replan instead.  Returns ``(None, ())`` when fault injection is off
+        or nothing in the window touches the plan.
+        """
+        state = self._fault_state
+        if state is None:
+            return None, ()
+        subset = [
+            event
+            for event in self._pending_faults
+            if start <= event.time < end
+            and (event.kind in CAPACITY_LOSS_KINDS or event.kind is FaultKind.RECOVERY)
+        ]
+        if not subset:
+            return None, ()
+        plan = self.system.require_plan()
+        timeline = compile_fault_timeline(FaultSchedule.from_events(subset), plan)
+        if not timeline:
+            return None, ()
+        notes = tuple(f"in-engine: {event.describe()}" for event in subset)
+        return timeline, notes
 
     def _attempt_replan(
         self, modes: Tuple[str, ...], reason: str, validate_window: Optional[Trace]
@@ -916,9 +1015,10 @@ class LiveServer:
         """Record one window that arrived while no servable capacity existed.
 
         Every arrival is logged as an outage drop on the coordinator and
-        becomes an unfinished :class:`~repro.core.types.RequestMetrics` (an
-        SLO miss), so the window reports attainment 0 without aborting the
-        run; SLO objectives still resolve and breach events still fire.
+        becomes an unfinished :class:`~repro.core.types.RequestMetrics` with
+        outcome ``dropped_outage`` (an SLO miss), so the window reports
+        attainment 0 without aborting the run; SLO objectives still resolve
+        and breach events still fire.
         """
         system = self.system
         slo_config = self.config.slo_config or auto_slo_config()
@@ -927,7 +1027,9 @@ class LiveServer:
         for request in window:
             if coordinator is not None:
                 coordinator.record_outage_drop(request)
-            metrics.append(RequestMetrics(request=request))
+            metrics.append(
+                RequestMetrics(request=request, outcome=RequestOutcome.DROPPED_OUTAGE)
+            )
         arrivals = [r.arrival_time for r in window]
         result = SimulationResult(
             metrics=metrics,

@@ -29,6 +29,21 @@ class GPUFailure:
         return f"{len(self.gpu_ids)} GPU(s) failed at t={self.detected_at:.1f}s: {sorted(self.gpu_ids)}"
 
 
+@dataclass(frozen=True)
+class GPURecovery:
+    """A detected GPU recovery event: failed GPUs whose heartbeats resumed."""
+
+    gpu_ids: frozenset
+    detected_at: float
+
+    def describe(self) -> str:
+        """Human-readable summary."""
+        return (
+            f"{len(self.gpu_ids)} GPU(s) recovered at t={self.detected_at:.1f}s: "
+            f"{sorted(self.gpu_ids)}"
+        )
+
+
 class HeartbeatMonitor:
     """Tracks per-GPU heartbeats and reports GPUs whose heartbeat timed out.
 
@@ -46,15 +61,22 @@ class HeartbeatMonitor:
         self.timeout_s = timeout_s
         self._last_seen: Dict[int, float] = {gpu_id: 0.0 for gpu_id in gpu_ids}
         self._failed: Set[int] = set()
+        self._recovered: Set[int] = set()
 
     # ------------------------------------------------------------------ heartbeats
     def heartbeat(self, gpu_id: int, now: float) -> None:
-        """Record a heartbeat from one GPU."""
+        """Record a heartbeat from one GPU.
+
+        A heartbeat from a GPU currently considered failed re-arms it as
+        healthy and queues it on the pending-recovery set surfaced by
+        :meth:`check_recovered`, so the comeback is an explicit signal rather
+        than a silent state flip.
+        """
         if gpu_id not in self._last_seen:
             raise KeyError(f"GPU {gpu_id} is not monitored")
         if gpu_id in self._failed:
-            # A failed GPU coming back is treated as recovered.
             self._failed.discard(gpu_id)
+            self._recovered.add(gpu_id)
         self._last_seen[gpu_id] = max(self._last_seen[gpu_id], now)
 
     def heartbeat_all(self, now: float, except_ids: Iterable[int] = ()) -> None:
@@ -75,7 +97,35 @@ class HeartbeatMonitor:
         if not newly_failed:
             return None
         self._failed.update(newly_failed)
+        self._recovered -= newly_failed
         return GPUFailure(gpu_ids=frozenset(newly_failed), detected_at=now)
+
+    def check_recovered(self, now: float) -> Optional[GPURecovery]:
+        """Return-and-clear the recovery event covering GPUs that came back.
+
+        Covers every failed GPU whose heartbeat resumed since the last call;
+        draining is explicit so each comeback is observed exactly once.
+        Returns ``None`` while nothing recovered.
+        """
+        if not self._recovered:
+            return None
+        recovered = frozenset(self._recovered)
+        self._recovered.clear()
+        return GPURecovery(gpu_ids=recovered, detected_at=now)
+
+    def mark_failed(self, gpu_ids: Iterable[int], now: float = 0.0) -> None:
+        """Register GPUs as failed from an external detection path.
+
+        GPUs not yet monitored (e.g. removed from the serving cluster, which
+        rebuilds the monitor over the survivors) are added to the watch set,
+        so a later heartbeat from them surfaces through
+        :meth:`check_recovered` — this is what makes fail → recover → fail
+        cycles observable across cluster rebuilds.
+        """
+        for gpu_id in gpu_ids:
+            self._last_seen[gpu_id] = max(self._last_seen.get(gpu_id, now), now)
+            self._failed.add(gpu_id)
+            self._recovered.discard(gpu_id)
 
     @property
     def failed_gpu_ids(self) -> List[int]:
@@ -162,4 +212,4 @@ class SLOBreachTracker:
         self._breached.clear()
 
 
-__all__ = ["HeartbeatMonitor", "GPUFailure", "SLOBreachTracker"]
+__all__ = ["HeartbeatMonitor", "GPUFailure", "GPURecovery", "SLOBreachTracker"]

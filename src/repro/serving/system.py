@@ -16,12 +16,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.exceptions import SchedulingError
 from repro.core.types import SLOSpec, SLOType
 from repro.costmodel.latency import CostModelParams, DEFAULT_PARAMS
 from repro.costmodel.reference import ReferenceLatency, a100_reference_latency
+from repro.faults.retry import RetryPolicy
+from repro.faults.timeline import FaultTimeline
 from repro.hardware.cluster import Cluster
 from repro.model.architecture import ModelConfig
 from repro.scheduling.deployment import DeploymentPlan
@@ -29,7 +31,7 @@ from repro.scheduling.rescheduling import LightweightRescheduler, ReschedulingOv
 from repro.scheduling.robust import RobustObjective, RobustScheduleResult
 from repro.scheduling.scheduler import ScheduleResult, Scheduler, SchedulerConfig
 from repro.serving.coordinator import RequestCoordinator
-from repro.serving.monitor import HeartbeatMonitor
+from repro.serving.monitor import GPUFailure, GPURecovery, HeartbeatMonitor
 from repro.simulation.engine import ServingSimulator, SimulatorConfig
 from repro.simulation.metrics import SimulationResult
 from repro.workload.profiler import WorkloadProfiler
@@ -168,13 +170,26 @@ class ThunderServe:
         return self.plan
 
     # ------------------------------------------------------------------ serving
-    def serve(self, trace: Trace, label: str = "thunderserve") -> SimulationResult:
+    def serve(
+        self,
+        trace: Trace,
+        label: str = "thunderserve",
+        faults: Optional[FaultTimeline] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> SimulationResult:
         """Serve a request trace with the current deployment plan.
 
         The :class:`ServingSimulator` is cached between calls (``run`` resets all
         simulator state, including the routing RNG, so reuse is exact): windowed
         serving — adaptive rescheduling, failure scenarios — skips rebuilding the
         replica cost models and keeps their memoized decode-step grids warm.
+
+        ``faults`` / ``retry`` are forwarded to
+        :meth:`~repro.simulation.engine.ServingSimulator.run`: a compiled
+        :class:`~repro.faults.timeline.FaultTimeline` is applied *inside* the
+        run (replica deaths dispose in-flight requests under the
+        :class:`~repro.faults.retry.RetryPolicy`) instead of the trace being
+        sliced into windows around each fault.
         """
         plan = self.require_plan()
         if self._simulator is None:
@@ -182,7 +197,7 @@ class ThunderServe:
                 self.cluster, plan, self.model, params=self.params, config=self.simulator_config
             )
         self.profiler.observe_many(trace)
-        return self._simulator.run(trace, label=label)
+        return self._simulator.run(trace, label=label, faults=faults, retry=retry)
 
     def serve_adaptive(
         self,
@@ -471,6 +486,47 @@ class ThunderServe:
             self.cluster.with_gpus(recovered), reason=f"gpu recovery ({recovered})"
         )
         return self.replan_capacity(mode=mode, reason=f"gpu recovery ({recovered})")
+
+    def process_heartbeats(
+        self,
+        now: float,
+        failure_mode: str = "lightweight",
+        recovery_mode: str = "full",
+    ) -> Tuple[Optional[GPUFailure], Optional[GPURecovery]]:
+        """Poll the heartbeat monitor and fold detected transitions into the system.
+
+        Drains both detection paths of the monitor — recoveries
+        (:meth:`~repro.serving.monitor.HeartbeatMonitor.check_recovered`,
+        fed by heartbeats resuming on a failed GPU) before new failures
+        (:meth:`~repro.serving.monitor.HeartbeatMonitor.check`) — and reacts
+        through :meth:`handle_gpu_recovery` / :meth:`handle_gpu_failure`.
+        After a failure is handled, the removed GPUs stay on the rebuilt
+        monitor's watch list as failed
+        (:meth:`~repro.serving.monitor.HeartbeatMonitor.mark_failed`), so a
+        comeback heartbeat surfaces as an explicit recovery on a later call —
+        fail → recover → fail cycles round-trip without external bookkeeping.
+        Replan failures (:class:`~repro.core.exceptions.SchedulingError`)
+        propagate to the caller.
+
+        Returns
+        -------
+        Tuple[Optional[GPUFailure], Optional[GPURecovery]]
+            The failure and recovery events detected at ``now`` (either may
+            be ``None``).
+        """
+        recovery = self.monitor.check_recovered(now)
+        failure = self.monitor.check(now)
+        if recovery is not None:
+            revived = sorted(set(recovery.gpu_ids) - set(self.cluster.gpu_ids))
+            if revived:
+                self.handle_gpu_recovery(revived, mode=recovery_mode)
+                self.monitor.heartbeat_all(now)
+        if failure is not None:
+            dead = sorted(failure.gpu_ids)
+            self.handle_gpu_failure(dead, mode=failure_mode)
+            self.monitor.heartbeat_all(now)
+            self.monitor.mark_failed(dead, now)
+        return failure, recovery
 
     # ------------------------------------------------------------------ reporting
     def attainment_curve(

@@ -74,7 +74,9 @@ import numpy as np
 
 from repro.core.exceptions import SimulationError
 from repro.core.rng import ensure_rng
-from repro.core.types import Request, RequestMetrics
+from repro.core.types import Request, RequestMetrics, RequestOutcome
+from repro.faults.retry import RetryPolicy, fault_uniform
+from repro.faults.timeline import FaultTimeline, ReplicaFaultEvent
 from repro.costmodel.kv_transfer import kv_transfer_seconds
 from repro.costmodel.latency import (
     CostModelParams,
@@ -101,6 +103,12 @@ _MAX_EPOCH_BUDGET = 4096
 #: epochs at most this long are priced through the scalar memo, skipping the
 #: fixed cost of the vectorized grid path
 _SMALL_EPOCH_STEPS = 16
+
+# RequestOutcome values as plain ints for the fast engine's outcome column.
+_OUT_FINISHED = int(RequestOutcome.FINISHED)
+_OUT_RETRIED = int(RequestOutcome.RETRIED_THEN_FINISHED)
+_OUT_TIMED_OUT = int(RequestOutcome.TIMED_OUT)
+_OUT_DROPPED = int(RequestOutcome.DROPPED_OUTAGE)
 
 
 @dataclass(frozen=True)
@@ -178,7 +186,13 @@ class _PrefillReplica:
     #: number of leading batches still valid (arrival truncation shortens this)
     epoch_cut: int = 0
     #: epoch generation counter; batch events carrying an older value are stale
+    #: (bumped by arrival truncation, superseding epochs, and replica death —
+    #: the reference engine uses it purely as a death-incarnation stamp on its
+    #: in-flight ``PREFILL_DONE`` event)
     epoch_seq: int = 0
+    #: requests of the in-flight batch (reference engine only) — the rows a
+    #: capacity-loss fault must dispose alongside the queue
+    inflight_batch: Optional[List] = None
 
 
 @dataclass
@@ -199,6 +213,9 @@ class _KVBatch:
     pos: int = 0
     #: heap sequence number assigned at the first push; reused on every repush
     heap_seq: int = -1
+    #: death-incarnation of the target decode replica at creation; a mismatch
+    #: at pop time means the replica died (the rows were already disposed)
+    incarnation: int = 0
 
 
 def _empty_ids() -> np.ndarray:
@@ -245,10 +262,18 @@ class _DecodeReplica:
     #: adaptive per-epoch step cap (doubles on quiet replicas, shrinks when
     #: arrivals keep truncating epochs)
     epoch_budget: int = _MIN_EPOCH_BUDGET
+    #: death-incarnation counter; KV transfers in flight toward an older
+    #: incarnation are stale (their requests were disposed at the death instant)
+    incarnation: int = 0
+    #: in-flight KV transfers toward this replica: request row (fast engine) or
+    #: request id (reference engine) -> payload; a capacity-loss fault disposes
+    #: every entry because the destination KV memory is gone
+    inflight: Dict[int, object] = field(default_factory=dict)
 
 
 #: int64 request columns grown together by :meth:`ServingSimulator._ensure_capacity`
-_INT_COLUMNS = ("_req_id", "_inlen", "_outlen", "_pre_rep", "_dec_rep")
+#: (``_att`` counts fault dispositions, ``_m_out`` holds the RequestOutcome code)
+_INT_COLUMNS = ("_req_id", "_inlen", "_outlen", "_pre_rep", "_dec_rep", "_att", "_m_out")
 #: float64 request columns grown together (arrival plus metric timestamps)
 _FLOAT_COLUMNS = ("_arr", "_m_pstart", "_m_first", "_m_kvdone", "_m_comp")
 
@@ -348,6 +373,14 @@ class ServingSimulator:
         self._prefill_start: Dict[int, float] = {}
         self._decode_target: Dict[int, int] = {}
         self._clock = 0.0
+        self._fault_events: Tuple[ReplicaFaultEvent, ...] = ()
+        self._fault_pos = 0
+        self._faults_active = False
+        self._retry = RetryPolicy()
+        self._dead_prefills: set = set()
+        self._dead_decodes: set = set()
+        self._alive_prefill_ids: List[int] = sorted(self.prefills)
+        self._alive_decode_ids: List[int] = sorted(self.decodes)
         for replica in self.prefills.values():
             replica.queue.clear()
             replica.busy = False
@@ -358,6 +391,7 @@ class ServingSimulator:
             replica.epoch_kv = []
             replica.epoch_cut = 0
             replica.epoch_seq = 0
+            replica.inflight_batch = None
         for replica in self.decodes.values():
             replica.active.clear()
             replica.pending.clear()
@@ -371,6 +405,37 @@ class ServingSimulator:
             replica.epoch_cut = 0
             replica.epoch_seq = 0
             replica.epoch_budget = _MIN_EPOCH_BUDGET
+            replica.incarnation = 0
+            replica.inflight.clear()
+
+    def _begin_fault_run(
+        self, faults: Optional[FaultTimeline], retry: Optional[RetryPolicy]
+    ) -> None:
+        """Arm the run-scoped fault timeline and retry policy (after a reset)."""
+        if faults is None or not faults:
+            return
+        known = set(self.prefills) | set(self.decodes)
+        for entry in faults.events:
+            listed = (
+                set(entry.dead_prefill)
+                | set(entry.dead_decode)
+                | set(entry.revived_prefill)
+                | set(entry.revived_decode)
+            )
+            unknown = listed - known
+            if unknown:
+                raise SimulationError(
+                    f"fault timeline names unknown serving groups {sorted(unknown)}"
+                )
+            if set(entry.dead_prefill) & set(self.decodes) or set(
+                entry.dead_decode
+            ) & set(self.prefills):
+                raise SimulationError("fault timeline mixes up prefill and decode groups")
+        self._fault_events = faults.events
+        self._fault_pos = 0
+        self._faults_active = True
+        if retry is not None:
+            self._retry = retry
 
     def _reset_fast_state(self) -> None:
         """Reset the struct-of-arrays request store for a fresh fast run."""
@@ -427,16 +492,34 @@ class ServingSimulator:
         return self.routing.prefill_group_ids[i], self.routing.decode_group_ids[j]
 
     # ------------------------------------------------------------------ run
-    def run(self, trace: Trace, label: str = "thunderserve") -> SimulationResult:
+    def run(
+        self,
+        trace: Trace,
+        label: str = "thunderserve",
+        faults: Optional[FaultTimeline] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> SimulationResult:
         """Replay a trace and return the per-request metrics.
 
         Every run starts from a clean slate — including the routing RNG — so a
         simulator instance can be reused across traces (e.g. the windowed serving
         of failure scenarios) with results identical to a freshly built one.
+
+        ``faults`` hands the run a compiled
+        :class:`~repro.faults.timeline.FaultTimeline`: at each entry's instant
+        (fault entries win exact-time ties against simulation events) the listed
+        replicas die or revive and every in-flight request on a dead replica
+        gets a typed disposition — re-dispatched to a surviving replica after a
+        deterministic backoff, or cancelled as ``timed_out`` /
+        ``dropped_outage`` — governed by ``retry`` (defaults to
+        :class:`~repro.faults.retry.RetryPolicy`'s bounded exponential
+        backoff).  Both engines apply identical semantics, so results stay
+        bitwise-identical under any timeline.
         """
         if not self._fast:
-            return self._run_reference(trace, label)
+            return self._run_reference(trace, label, faults=faults, retry=retry)
         self._reset_fast_state()
+        self._begin_fault_run(faults, retry)
         self._ensure_capacity(len(trace))
         return self._run_fast(
             iter((trace.arrays(),)),
@@ -449,6 +532,8 @@ class ServingSimulator:
         self,
         chunks: Iterable[RequestArrays],
         label: str = "thunderserve",
+        faults: Optional[FaultTimeline] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> SimulationResult:
         """Replay a streamed trace of arrival-ordered request chunks.
 
@@ -467,8 +552,14 @@ class ServingSimulator:
         bound but preserves the oracle semantics for equivalence checks.
         """
         if not self._fast:
-            return self._run_reference(RequestArrays.concat(list(chunks)).to_trace(), label)
+            return self._run_reference(
+                RequestArrays.concat(list(chunks)).to_trace(),
+                label,
+                faults=faults,
+                retry=retry,
+            )
         self._reset_fast_state()
+        self._begin_fault_run(faults, retry)
         return self._run_fast(iter(chunks), requests=None, trace_duration=None, label=label)
 
     # ------------------------------------------------------------------ fast loop
@@ -521,6 +612,8 @@ class ServingSimulator:
         self._chunks_done = False
         events = self._events
         horizon = self.config.max_sim_time
+        fault_events = self._fault_events
+        num_faults = len(fault_events)
         truncated = False
         while True:
             # Keep the arrival cursor ahead of the heap: whenever the ingested
@@ -533,6 +626,21 @@ class ServingSimulator:
             top = events.peek_key()
             if not have_arrival and top is None:
                 break
+            if self._fault_pos < num_faults:
+                # Fault entries win exact-time ties against simulation work:
+                # they apply the moment the next candidate event is not
+                # strictly earlier (the per-event engine uses the same rule).
+                next_t = float(self._arr[self._cursor]) if have_arrival else None
+                if top is not None:
+                    next_t = top[0] if next_t is None else min(next_t, top[0])
+                entry = fault_events[self._fault_pos]
+                if next_t is not None and entry.time <= next_t:
+                    if horizon is not None and entry.time > horizon:
+                        self._fault_pos = num_faults
+                    else:
+                        self._fault_pos += 1
+                        self._apply_fault_fast(entry)
+                    continue
             if have_arrival and (top is None or float(self._arr[self._cursor]) <= top[0]):
                 # Arrivals win exact-time ties: the per-event engine pushes all
                 # ARRIVAL events at setup, giving them the lowest heap seqs.
@@ -543,9 +651,11 @@ class ServingSimulator:
                 row = self._cursor
                 self._cursor += 1
                 self._clock = max(self._clock, at)
-                self._on_prefill_arrival_fast(
-                    self.prefills[int(self._pre_rep[row])], row, at
-                )
+                pre = int(self._pre_rep[row])
+                if self._faults_active and pre in self._dead_prefills:
+                    self._dispose_fast(row, at)
+                else:
+                    self._on_prefill_arrival_fast(self.prefills[pre], row, at)
                 continue
             event = events.pop()
             if horizon is not None and event.time > horizon:
@@ -558,11 +668,29 @@ class ServingSimulator:
                 self._clock = max(self._clock, event.time)
                 self._on_decode_wake(replica, event.time)
             elif event.kind is EventKind.PREFILL_BATCH:
+                replica = self.prefills[event.replica_id]
+                seq, idx = event.payload
+                if seq != replica.epoch_seq or idx >= replica.epoch_cut:
+                    continue  # cancelled batch / superseded epoch; no clock update
                 self._clock = max(self._clock, event.time)
-                self._on_prefill_batch(event.replica_id, event.payload, event.time)
+                self._on_prefill_batch(replica, idx, event.time)
             elif event.kind is EventKind.KV_BATCH:
+                holder = event.payload
+                if (
+                    self._faults_active
+                    and holder.incarnation != self.decodes[holder.decode_id].incarnation
+                ):
+                    continue  # target replica died; the rows were disposed
                 self._clock = max(self._clock, event.time)
-                self._on_kv_batch(event.payload, horizon)
+                self._on_kv_batch(holder, horizon)
+            elif event.kind is EventKind.RETRY:
+                self._clock = max(self._clock, event.time)
+                row = event.payload
+                pre = int(self._pre_rep[row])
+                if pre in self._dead_prefills:
+                    self._dispose_fast(row, event.time)
+                else:
+                    self._on_prefill_arrival_fast(self.prefills[pre], row, event.time)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unexpected event kind {event.kind}")
         if truncated and horizon is not None:
@@ -607,6 +735,8 @@ class ServingSimulator:
             finished=col(self._m_fin),
             prefill_replica=col(self._pre_rep),
             decode_replica=col(self._dec_rep),
+            outcome=col(self._m_out),
+            attempts=col(self._att),
         )
         backing: Optional[List[Request]] = None
         if requests is not None:
@@ -789,12 +919,15 @@ class ServingSimulator:
             plan.append(per_batch)
         return plan
 
-    def _on_prefill_batch(self, replica_id: int, payload: Tuple[int, int], now: float) -> None:
-        """Apply one precomputed prefill-batch completion (fast engine)."""
-        replica = self.prefills[replica_id]
-        seq, idx = payload
-        if seq != replica.epoch_seq or idx >= replica.epoch_cut:
-            return  # batch cancelled by an arrival truncation / superseded epoch
+    def _on_prefill_batch(self, replica: _PrefillReplica, idx: int, now: float) -> None:
+        """Apply one precomputed prefill-batch completion (fast engine).
+
+        Staleness (cancelled batches, superseded epochs, replica death) is
+        checked by the main loop before the clock advances.  Under an active
+        fault timeline, rows whose decode target is dead at the handoff
+        instant are disposed here instead of emitting a doomed KV transfer —
+        exactly where the per-event engine makes the same call.
+        """
         assert (
             replica.epoch_rows is not None
             and replica.epoch_offsets is not None
@@ -810,16 +943,47 @@ class ServingSimulator:
             self._m_kvdone[single] = now
             self._m_comp[single] = now
             self._m_fin[single] = True
-        for decode_id, kv_rows, times in replica.epoch_kv[idx]:
-            holder = _KVBatch(decode_id=decode_id, rows=kv_rows, times=times)
-            holder.heap_seq = self._events.push(
-                Event(
-                    time=float(times[0]),
-                    kind=EventKind.KV_BATCH,
-                    replica_id=decode_id,
-                    payload=holder,
-                )
+            self._m_out[single] = np.where(
+                self._att[single] > 0, _OUT_RETRIED, _OUT_FINISHED
             )
+        if not self._faults_active:
+            for decode_id, kv_rows, times in replica.epoch_kv[idx]:
+                holder = _KVBatch(decode_id=decode_id, rows=kv_rows, times=times)
+                holder.heap_seq = self._events.push(
+                    Event(
+                        time=float(times[0]),
+                        kind=EventKind.KV_BATCH,
+                        replica_id=decode_id,
+                        payload=holder,
+                    )
+                )
+        else:
+            dead_rows: List[int] = []
+            for decode_id, kv_rows, times in replica.epoch_kv[idx]:
+                if decode_id in self._dead_decodes:
+                    dead_rows.extend(kv_rows.tolist())
+                    continue
+                target = self.decodes[decode_id]
+                for r in kv_rows.tolist():
+                    target.inflight[r] = True
+                holder = _KVBatch(
+                    decode_id=decode_id,
+                    rows=kv_rows,
+                    times=times,
+                    incarnation=target.incarnation,
+                )
+                holder.heap_seq = self._events.push(
+                    Event(
+                        time=float(times[0]),
+                        kind=EventKind.KV_BATCH,
+                        replica_id=decode_id,
+                        payload=holder,
+                    )
+                )
+            if dead_rows:
+                dead_rows.sort(key=lambda r: int(self._req_id[r]))
+                for r in dead_rows:
+                    self._dispose_fast(r, now)
         if idx == replica.epoch_cut - 1:
             # Last valid batch: pick up whatever queued (or was re-queued by a
             # truncation) while the epoch ran.
@@ -840,6 +1004,22 @@ class ServingSimulator:
         events = self._events
         while holder.pos < n:
             t = float(times[holder.pos])
+            if (
+                self._fault_pos < len(self._fault_events)
+                and self._fault_events[self._fault_pos].time <= t
+            ):
+                # A fault entry is due first: yield so the main loop applies it
+                # (the entry may dispose this very cursor's remaining rows).
+                events.repush(
+                    Event(
+                        time=t,
+                        kind=EventKind.KV_BATCH,
+                        replica_id=holder.decode_id,
+                        payload=holder,
+                    ),
+                    holder.heap_seq,
+                )
+                return
             if horizon is not None and t > horizon:
                 # Beyond the horizon: hand the remainder back so the main loop
                 # observes (and truncates at) it like the per-event engine.
@@ -1060,6 +1240,9 @@ class ServingSimulator:
             finished_rows = replica.rows[:k]
             self._m_comp[finished_rows] = done
             self._m_fin[finished_rows] = True
+            self._m_out[finished_rows] = np.where(
+                self._att[finished_rows] > 0, _OUT_RETRIED, _OUT_FINISHED
+            )
             kv = replica.kv
             for row in finished_rows.tolist():
                 kv.free(row)
@@ -1079,6 +1262,8 @@ class ServingSimulator:
         """Record a KV arrival and truncate the replica's epoch if admissible."""
         self._m_kvdone[row] = now
         replica = self.decodes[replica_id]
+        if self._faults_active:
+            replica.inflight.pop(row, None)
         head_was_blocked = bool(replica.pending)
         replica.pending.append(row)
         if not replica.stepping:
@@ -1106,6 +1291,128 @@ class ServingSimulator:
                 )
             )
 
+    # ------------------------------------------------------- faults (fast engine)
+    def _dispose_fast(self, row: int, now: float) -> None:
+        """Apply the typed disposition of one fault-stricken request (fast).
+
+        The request's current attempt is lost (its per-attempt stamps reset);
+        under the run's :class:`~repro.faults.retry.RetryPolicy` it is either
+        re-dispatched to a hash-routed surviving (prefill, decode) pair after a
+        deterministic backoff delay, or cancelled — ``dropped_outage`` when no
+        capacity survives or the retry budget is exhausted, ``timed_out`` when
+        the retry would land past the per-request deadline.  Terminal outcomes
+        keep the partial stamps of the failed attempt.
+        """
+        att = int(self._att[row]) + 1
+        self._att[row] = att
+        policy = self._retry
+        alive_p = self._alive_prefill_ids
+        alive_d = self._alive_decode_ids
+        if not alive_p or not alive_d or att > policy.max_retries:
+            self._m_out[row] = _OUT_DROPPED
+            return
+        rid = int(self._req_id[row])
+        seed = self.config.seed
+        retry_time = now + policy.backoff_delay(seed, rid, att)
+        if (
+            policy.deadline_s is not None
+            and retry_time - float(self._arr[row]) > policy.deadline_s
+        ):
+            self._m_out[row] = _OUT_TIMED_OUT
+            return
+        up = fault_uniform("route-prefill", seed, rid, att)
+        ud = fault_uniform("route-decode", seed, rid, att)
+        self._pre_rep[row] = alive_p[int(up * len(alive_p))]
+        self._dec_rep[row] = alive_d[int(ud * len(alive_d))]
+        self._m_pstart[row] = 0.0
+        self._m_first[row] = 0.0
+        self._m_kvdone[row] = 0.0
+        self._m_comp[row] = 0.0
+        self._m_fin[row] = False
+        self._m_out[row] = 0
+        self._events.push(Event(time=retry_time, kind=EventKind.RETRY, payload=row))
+
+    def _apply_fault_fast(self, entry: ReplicaFaultEvent) -> None:
+        """Apply one fault-timeline entry at its instant (fast engine).
+
+        Deaths first: every dead replica is wiped (queues, epoch state, KV
+        cache, in-flight transfers toward it) and its victims — collected
+        across all replicas dying at this instant — are disposed in request-id
+        order, so retry scheduling is deterministic and engine-independent.
+        Revivals simply mark the (already clean) replica routable again.
+        """
+        t = entry.time
+        victims: List[int] = []
+        for gid in entry.dead_prefill:
+            if gid in self._dead_prefills:
+                continue
+            self._dead_prefills.add(gid)
+            replica = self.prefills[gid]
+            victims.extend(int(r) for r in replica.queue)
+            if replica.busy and replica.epoch_rows is not None:
+                # Batches whose completion fired strictly before ``t`` already
+                # delivered; everything later (ties included — fault entries
+                # win) is lost with the replica.
+                cut = replica.epoch_cut
+                assert replica.epoch_dones is not None and replica.epoch_offsets is not None
+                fired = int(np.searchsorted(replica.epoch_dones[:cut], t, side="left"))
+                offsets = replica.epoch_offsets
+                victims.extend(
+                    replica.epoch_rows[offsets[fired] : offsets[cut]].tolist()
+                )
+            replica.queue.clear()
+            replica.busy = False
+            replica.epoch_rows = None
+            replica.epoch_offsets = None
+            replica.epoch_starts = None
+            replica.epoch_dones = None
+            replica.epoch_kv = []
+            replica.epoch_cut = 0
+            replica.epoch_seq += 1
+        for gid in entry.dead_decode:
+            if gid in self._dead_decodes:
+                continue
+            self._dead_decodes.add(gid)
+            replica = self.decodes[gid]
+            if replica.stepping and replica.epoch_times is not None:
+                # Steps that fired strictly before ``t`` (ties lose — fault
+                # entries win) delivered their tokens; the reference engine
+                # advanced its clock through each of them, so replay the last
+                # fired boundary here to keep makespans bitwise-identical.
+                times = replica.epoch_times[: replica.epoch_cut]
+                fired = int(np.searchsorted(times, t, side="left"))
+                if fired > 0:
+                    self._clock = max(self._clock, float(times[fired - 1]))
+            victims.extend(replica.rows.tolist())
+            victims.extend(int(r) for r in replica.pending)
+            victims.extend(replica.inflight.keys())
+            replica.rows = _empty_ids()
+            replica.ctx = _empty_ids()
+            replica.rem = _empty_ids()
+            replica.pending.clear()
+            replica.inflight.clear()
+            replica.kv.reset()
+            replica.stepping = False
+            replica.epoch_times = None
+            replica.epoch_len = 0
+            replica.epoch_cut = 0
+            replica.epoch_seq += 1
+            replica.epoch_budget = _MIN_EPOCH_BUDGET
+            replica.incarnation += 1
+        for gid in entry.revived_prefill:
+            self._dead_prefills.discard(gid)
+        for gid in entry.revived_decode:
+            self._dead_decodes.discard(gid)
+        self._alive_prefill_ids = sorted(
+            g for g in self.prefills if g not in self._dead_prefills
+        )
+        self._alive_decode_ids = sorted(
+            g for g in self.decodes if g not in self._dead_decodes
+        )
+        victims.sort(key=lambda r: int(self._req_id[r]))
+        for row in victims:
+            self._dispose_fast(row, t)
+
     def _flush_epochs(self, horizon: float) -> None:
         """Complete in-flight epoch steps up to ``horizon`` after a truncated run.
 
@@ -1123,27 +1430,75 @@ class ServingSimulator:
                 self._clock = max(self._clock, float(times[steps - 1]))
 
     # ------------------------------------------------------------------ reference
-    def _run_reference(self, trace: Trace, label: str) -> SimulationResult:
-        """Replay a trace through the per-event oracle engine."""
+    def _run_reference(
+        self,
+        trace: Trace,
+        label: str,
+        faults: Optional[FaultTimeline] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> SimulationResult:
+        """Replay a trace through the per-event oracle engine.
+
+        Fault semantics mirror the fast engine exactly: fault entries win
+        exact-time ties against heap events, death-stale events (a prefill
+        batch, KV transfer, or decode step whose replica died while it was in
+        flight) advance no clock, and dispositions use the same hash-based
+        jitter and routing — which is what keeps results bitwise-identical
+        under any timeline.
+        """
         self._reset_replicas()
+        self._begin_fault_run(faults, retry)
         for request in trace:
             self._events.push(
                 Event(time=request.arrival_time, kind=EventKind.ARRIVAL, payload=request)
             )
         horizon = self.config.max_sim_time
-        while self._events:
-            event = self._events.pop()
+        events = self._events
+        fault_events = self._fault_events
+        num_faults = len(fault_events)
+        while True:
+            top = events.peek_key()
+            if top is None:
+                break
+            if self._fault_pos < num_faults:
+                # Fault entries win exact-time ties against simulation work
+                # (same rule as the fast engine's arrival/heap race).
+                entry = fault_events[self._fault_pos]
+                if entry.time <= top[0]:
+                    if horizon is not None and entry.time > horizon:
+                        self._fault_pos = num_faults
+                    else:
+                        self._fault_pos += 1
+                        self._apply_fault_reference(entry)
+                    continue
+            event = events.pop()
             if horizon is not None and event.time > horizon:
                 break
-            self._clock = max(self._clock, event.time)
             if event.kind is EventKind.ARRIVAL:
+                self._clock = max(self._clock, event.time)
                 self._on_arrival(event.payload, event.time)
             elif event.kind is EventKind.PREFILL_DONE:
-                self._on_prefill_done(event.replica_id, event.payload, event.time)
+                replica = self.prefills[event.replica_id]
+                seq, batch = event.payload
+                if seq != replica.epoch_seq:
+                    continue  # replica died while the batch ran; no clock update
+                self._clock = max(self._clock, event.time)
+                self._on_prefill_done(event.replica_id, batch, event.time)
             elif event.kind is EventKind.KV_ARRIVED:
-                self._on_kv_arrived(event.replica_id, event.payload, event.time)
+                incarnation, request = event.payload
+                if incarnation != self.decodes[event.replica_id].incarnation:
+                    continue  # target replica died; the request was disposed
+                self._clock = max(self._clock, event.time)
+                self._on_kv_arrived(event.replica_id, request, event.time)
             elif event.kind is EventKind.DECODE_STEP:
+                replica = self.decodes[event.replica_id]
+                if event.payload != replica.epoch_seq:
+                    continue  # replica died mid-step; no clock update
+                self._clock = max(self._clock, event.time)
                 self._on_decode_step(event.replica_id, event.time)
+            elif event.kind is EventKind.RETRY:
+                self._clock = max(self._clock, event.time)
+                self._on_retry_reference(event.payload, event.time)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unexpected event kind {event.kind}")
         metrics = [self._metrics[rid] for rid in sorted(self._metrics)]
@@ -1161,6 +1516,9 @@ class ServingSimulator:
         metrics.decode_replica = decode_id
         self._metrics[request.request_id] = metrics
         self._decode_target[request.request_id] = decode_id
+        if self._faults_active and prefill_id in self._dead_prefills:
+            self._dispose_reference(request, now)
+            return
         replica = self.prefills[prefill_id]
         replica.queue.append(request)
         if not replica.busy:
@@ -1169,11 +1527,13 @@ class ServingSimulator:
     def _start_prefill_batch(self, replica: _PrefillReplica, now: float) -> None:
         if not replica.queue:
             replica.busy = False
+            replica.inflight_batch = None
             return
         batch: List[Request] = []
         while replica.queue and len(batch) < self.config.max_prefill_batch_requests:
             batch.append(replica.queue.popleft())
         replica.busy = True
+        replica.inflight_batch = batch
         max_input = max(r.input_length for r in batch)
         latency = replica.cost.prefill_latency(max_input, batch_size=len(batch))
         for request in batch:
@@ -1183,13 +1543,15 @@ class ServingSimulator:
                 time=now + latency,
                 kind=EventKind.PREFILL_DONE,
                 replica_id=replica.group_id,
-                payload=batch,
+                payload=(replica.epoch_seq, batch),
             )
         )
 
     def _on_prefill_done(self, replica_id: int, batch: List[Request], now: float) -> None:
         replica = self.prefills[replica_id]
+        replica.inflight_batch = None
         prefill_group = self.plan.group(replica_id)
+        dead_targets: List[Request] = []
         for request in batch:
             metrics = self._metrics[request.request_id]
             metrics.prefill_start = self._prefill_start[request.request_id]
@@ -1200,6 +1562,16 @@ class ServingSimulator:
                 metrics.kv_transfer_done = now
                 metrics.completion_time = now
                 metrics.finished = True
+                metrics.outcome = (
+                    RequestOutcome.RETRIED_THEN_FINISHED
+                    if metrics.attempts > 0
+                    else RequestOutcome.FINISHED
+                )
+                continue
+            if self._faults_active and decode_id in self._dead_decodes:
+                # The decode target died while prefill ran: the KV has nowhere
+                # to land, so the request is disposed at the handoff instant.
+                dead_targets.append(request)
                 continue
             decode_group = self.plan.group(decode_id)
             transfer = kv_transfer_seconds(
@@ -1211,14 +1583,21 @@ class ServingSimulator:
                 batch_size=1,
                 bits=self.plan.kv_transport_bits,
             )
+            target = self.decodes[decode_id]
+            if self._faults_active:
+                target.inflight[request.request_id] = request
             self._events.push(
                 Event(
                     time=now + transfer,
                     kind=EventKind.KV_ARRIVED,
                     replica_id=decode_id,
-                    payload=request,
+                    payload=(target.incarnation, request),
                 )
             )
+        if dead_targets:
+            dead_targets.sort(key=lambda r: r.request_id)
+            for request in dead_targets:
+                self._dispose_reference(request, now)
         # Keep the prefill replica busy with the next batch, if any.
         self._start_prefill_batch(replica, now)
 
@@ -1226,6 +1605,8 @@ class ServingSimulator:
         metrics = self._metrics[request.request_id]
         metrics.kv_transfer_done = now
         replica = self.decodes[replica_id]
+        if self._faults_active:
+            replica.inflight.pop(request.request_id, None)
         replica.pending.append(request)
         if not replica.stepping:
             self._schedule_decode_step(replica, now)
@@ -1255,7 +1636,12 @@ class ServingSimulator:
         mean_context = int(np.mean([state[0] for state in replica.active.values()]))
         latency = replica.cost.decode_step_latency(batch, max(1, mean_context))
         self._events.push(
-            Event(time=now + latency, kind=EventKind.DECODE_STEP, replica_id=replica.group_id)
+            Event(
+                time=now + latency,
+                kind=EventKind.DECODE_STEP,
+                replica_id=replica.group_id,
+                payload=replica.epoch_seq,
+            )
         )
 
     def _on_decode_step(self, replica_id: int, now: float) -> None:
@@ -1272,7 +1658,119 @@ class ServingSimulator:
             metrics = self._metrics[request_id]
             metrics.completion_time = now
             metrics.finished = True
+            metrics.outcome = (
+                RequestOutcome.RETRIED_THEN_FINISHED
+                if metrics.attempts > 0
+                else RequestOutcome.FINISHED
+            )
         self._schedule_decode_step(replica, now)
+
+    # -------------------------------------------------- faults (reference engine)
+    def _dispose_reference(self, request: Request, now: float) -> None:
+        """Typed disposition of one fault-stricken request (per-event oracle).
+
+        Mirrors :meth:`_dispose_fast` exactly — same attempt accounting, same
+        hash-based backoff/jitter and routing draws, same terminal causes —
+        operating on :class:`~repro.core.types.RequestMetrics` objects instead
+        of metric columns.
+        """
+        metrics = self._metrics[request.request_id]
+        metrics.attempts += 1
+        att = metrics.attempts
+        policy = self._retry
+        alive_p = self._alive_prefill_ids
+        alive_d = self._alive_decode_ids
+        if not alive_p or not alive_d or att > policy.max_retries:
+            metrics.outcome = RequestOutcome.DROPPED_OUTAGE
+            return
+        rid = request.request_id
+        seed = self.config.seed
+        retry_time = now + policy.backoff_delay(seed, rid, att)
+        if (
+            policy.deadline_s is not None
+            and retry_time - request.arrival_time > policy.deadline_s
+        ):
+            metrics.outcome = RequestOutcome.TIMED_OUT
+            return
+        up = fault_uniform("route-prefill", seed, rid, att)
+        ud = fault_uniform("route-decode", seed, rid, att)
+        metrics.prefill_replica = alive_p[int(up * len(alive_p))]
+        metrics.decode_replica = alive_d[int(ud * len(alive_d))]
+        self._decode_target[rid] = metrics.decode_replica
+        metrics.prefill_start = 0.0
+        metrics.first_token_time = 0.0
+        metrics.kv_transfer_done = 0.0
+        metrics.completion_time = 0.0
+        metrics.finished = False
+        metrics.outcome = RequestOutcome.PENDING
+        self._prefill_start.pop(rid, None)
+        self._events.push(Event(time=retry_time, kind=EventKind.RETRY, payload=request))
+
+    def _on_retry_reference(self, request: Request, now: float) -> None:
+        """Re-dispatch a retried request at its backoff expiry (oracle)."""
+        metrics = self._metrics[request.request_id]
+        prefill_id = metrics.prefill_replica
+        if prefill_id in self._dead_prefills:
+            # The routed target died during the backoff: dispose again.
+            self._dispose_reference(request, now)
+            return
+        replica = self.prefills[prefill_id]
+        replica.queue.append(request)
+        if not replica.busy:
+            self._start_prefill_batch(replica, now)
+
+    def _apply_fault_reference(self, entry: ReplicaFaultEvent) -> None:
+        """Apply one fault-timeline entry at its instant (per-event oracle).
+
+        Victim collection mirrors :meth:`_apply_fault_fast`: a dead prefill
+        loses its queue plus the in-flight batch (its ``PREFILL_DONE`` goes
+        stale via ``epoch_seq``); a dead decode loses its running batch,
+        admission queue, and every KV transfer in flight toward it (stale via
+        ``incarnation``).  Victims across all deaths at this instant are
+        disposed in request-id order.
+        """
+        t = entry.time
+        victims: List[Request] = []
+        for gid in entry.dead_prefill:
+            if gid in self._dead_prefills:
+                continue
+            self._dead_prefills.add(gid)
+            replica = self.prefills[gid]
+            victims.extend(replica.queue)
+            if replica.inflight_batch:
+                victims.extend(replica.inflight_batch)
+            replica.queue.clear()
+            replica.busy = False
+            replica.inflight_batch = None
+            replica.epoch_seq += 1
+        for gid in entry.dead_decode:
+            if gid in self._dead_decodes:
+                continue
+            self._dead_decodes.add(gid)
+            replica = self.decodes[gid]
+            victims.extend(self._metrics[rid].request for rid in replica.active)
+            victims.extend(replica.pending)
+            victims.extend(replica.inflight.values())
+            replica.active.clear()
+            replica.pending.clear()
+            replica.inflight.clear()
+            replica.kv.reset()
+            replica.stepping = False
+            replica.epoch_seq += 1
+            replica.incarnation += 1
+        for gid in entry.revived_prefill:
+            self._dead_prefills.discard(gid)
+        for gid in entry.revived_decode:
+            self._dead_decodes.discard(gid)
+        self._alive_prefill_ids = sorted(
+            g for g in self.prefills if g not in self._dead_prefills
+        )
+        self._alive_decode_ids = sorted(
+            g for g in self.decodes if g not in self._dead_decodes
+        )
+        victims.sort(key=lambda r: r.request_id)
+        for request in victims:
+            self._dispose_reference(request, t)
 
 
 __all__ = ["ServingSimulator", "SimulatorConfig", "ENGINES"]

@@ -28,6 +28,10 @@ class EventKind(str, enum.Enum):
     #: a coalesced array of KV-cache arrivals for one decode replica (fast
     #: engine); the payload is a mutable batch cursor drained in arrival order
     KV_BATCH = "kv_batch"
+    #: re-dispatch of a request after a fault-triggered backoff delay; the
+    #: payload identifies the request (row index in the fast engine, the
+    #: :class:`~repro.core.types.Request` in the reference engine)
+    RETRY = "retry"
     REPLICA_STEP = "replica_step"  # co-located replicas (vLLM/HexGen baselines)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

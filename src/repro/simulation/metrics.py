@@ -29,7 +29,15 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.types import Request, RequestMetrics, SLOSpec, SLOType
+from repro.core.exceptions import SimulationError
+from repro.core.types import (
+    OUTCOME_NAMES,
+    Request,
+    RequestMetrics,
+    RequestOutcome,
+    SLOSpec,
+    SLOType,
+)
 
 
 def summarize_requests(metrics: Sequence[RequestMetrics]) -> Dict[str, float]:
@@ -82,6 +90,14 @@ completion_time:
         Completion flags (``bool``).
     prefill_replica, decode_replica:
         Serving-group ids the request was routed to (``int64``).
+    outcome:
+        Typed terminal disposition per request (``int64``,
+        :class:`~repro.core.types.RequestOutcome` values).  Producers
+        predating the taxonomy may omit it; it is then derived from
+        ``finished`` (finished → ``FINISHED``, else ``PENDING``).
+    attempts:
+        Number of fault dispositions per request (``int64``; zero when the
+        run saw no faults).  Defaults to all-zero when omitted.
     """
 
     request_id: np.ndarray
@@ -96,9 +112,25 @@ completion_time:
     finished: np.ndarray
     prefill_replica: np.ndarray
     decode_replica: np.ndarray
+    outcome: Optional[np.ndarray] = None
+    attempts: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.outcome is None:
+            self.outcome = np.where(
+                self.finished, int(RequestOutcome.FINISHED), int(RequestOutcome.PENDING)
+            ).astype(np.int64)
+        if self.attempts is None:
+            self.attempts = np.zeros(self.request_id.size, dtype=np.int64)
 
     def __len__(self) -> int:
         return self.request_id.size
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """Request count per :class:`~repro.core.types.RequestOutcome` name."""
+        assert self.outcome is not None
+        counts = np.bincount(self.outcome, minlength=len(OUTCOME_NAMES))
+        return {name: int(counts[i]) for i, name in enumerate(OUTCOME_NAMES)}
 
     # ------------------------------------------------------------------ derived
     def ttft(self) -> np.ndarray:
@@ -172,6 +204,9 @@ completion_time:
         fin = self.finished.tolist()
         prep = self.prefill_replica.tolist()
         drep = self.decode_replica.tolist()
+        assert self.outcome is not None and self.attempts is not None
+        out = self.outcome.tolist()
+        att = self.attempts.tolist()
         return [
             RequestMetrics(
                 request=requests[i],
@@ -183,6 +218,8 @@ completion_time:
                 prefill_replica=prep[i],
                 decode_replica=drep[i],
                 finished=fin[i],
+                outcome=RequestOutcome(out[i]),
+                attempts=att[i],
             )
             for i in range(n)
         ]
@@ -298,6 +335,58 @@ class SimulationResult:
         if not self.num_requests:
             return 0.0
         return self.num_finished / self.num_requests
+
+    # ------------------------------------------------------------------ outcomes
+    def outcome_counts(self) -> Dict[str, int]:
+        """Request count per :class:`~repro.core.types.RequestOutcome` name.
+
+        Works on both backings.  List-backed results resolve the legacy
+        ``finished``-only encoding through
+        :meth:`~repro.core.types.RequestMetrics.resolved_outcome`; the sum of
+        the counts always equals :attr:`num_requests`.
+        """
+        if self.arrays is not None:
+            return self.arrays.outcome_counts()
+        counts = {name: 0 for name in OUTCOME_NAMES}
+        for m in self.metrics:
+            counts[m.resolved_outcome().name.lower()] += 1
+        return counts
+
+    def assert_outcome_conservation(self, require_terminal: bool = False) -> Dict[str, int]:
+        """Check that every arrival maps to exactly one coherent outcome.
+
+        Raises :class:`~repro.core.exceptions.SimulationError` when the
+        ``finished`` flags contradict the outcome taxonomy (a finished request
+        must be ``finished`` / ``retried_then_finished`` and vice versa), when
+        the outcome counts do not sum to the number of requests, or — with
+        ``require_terminal`` — when any request is still ``pending`` (only
+        legitimate on horizon-truncated runs).  Returns the outcome counts.
+        """
+        counts = self.outcome_counts()
+        total = sum(counts.values())
+        if total != self.num_requests:
+            raise SimulationError(
+                f"outcome counts sum to {total}, expected {self.num_requests}"
+            )
+        completed = counts["finished"] + counts["retried_then_finished"]
+        if completed != self.num_finished:
+            raise SimulationError(
+                f"{completed} completed outcomes vs {self.num_finished} finished flags"
+            )
+        if require_terminal and counts["pending"]:
+            raise SimulationError(
+                f"{counts['pending']} requests left pending on a fully drained run"
+            )
+        if self.arrays is not None:
+            assert self.arrays.outcome is not None
+            completed_mask = (
+                self.arrays.outcome == int(RequestOutcome.FINISHED)
+            ) | (self.arrays.outcome == int(RequestOutcome.RETRIED_THEN_FINISHED))
+            if bool(np.any(completed_mask != self.arrays.finished)):
+                raise SimulationError(
+                    "per-request outcome/finished flags disagree in the array backing"
+                )
+        return counts
 
     # ------------------------------------------------------------------ latency
     def _finished_values(self, slo_type: SLOType) -> Optional[np.ndarray]:
@@ -461,4 +550,9 @@ def merge_results(
     )
 
 
-__all__ = ["MetricArrays", "SimulationResult", "summarize_requests", "merge_results"]
+__all__ = [
+    "MetricArrays",
+    "SimulationResult",
+    "summarize_requests",
+    "merge_results",
+]

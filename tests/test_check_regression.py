@@ -243,6 +243,126 @@ class TestCompareChaos:
         assert any("kind mismatch" in f for f in failures)
 
 
+def reliability_report(**overrides):
+    payload = {
+        "benchmark": "bench_request_reliability",
+        "kind": "request_reliability",
+        "mode": "reduced",
+        "num_live_requests": 900,
+        "retry_completed": 900,
+        "retry_recovered": 4,
+        "retry_dropped": 0,
+        "retry_attainment": 0.84,
+        "drop_completed": 896,
+        "drop_dropped": 4,
+        "drop_attainment": 0.83,
+        "deterministic_replay": True,
+        "stream_num_requests": 50_000,
+        "stream_outcomes": {
+            "pending": 0,
+            "finished": 30_000,
+            "retried_then_finished": 12_000,
+            "timed_out": 8_000,
+            "dropped_outage": 0,
+            "shed": 0,
+        },
+        "stream_conserved": True,
+        "stream_conservation_error": "",
+        "elapsed_s": 8.0,
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestCompareReliability:
+    """The reliability gate fails on every injected fault-semantics break."""
+
+    def test_healthy_reliability_report_passes(self):
+        failures, warnings = check_regression.compare(
+            reliability_report(), reliability_report()
+        )
+        assert failures == []
+        assert warnings == []
+
+    def test_nondeterministic_replay_fails(self):
+        failures, _ = check_regression.compare(
+            reliability_report(), reliability_report(deterministic_replay=False)
+        )
+        assert any("deterministic_replay" in f for f in failures)
+
+    def test_retry_not_beating_drop_only_fails(self):
+        failures, _ = check_regression.compare(
+            reliability_report(),
+            reliability_report(retry_completed=896, drop_completed=896),
+        )
+        assert any("no longer beats drop-only" in f for f in failures)
+
+    def test_storm_without_dispositions_fails(self):
+        failures, _ = check_regression.compare(
+            reliability_report(),
+            reliability_report(retry_recovered=0, drop_dropped=0),
+        )
+        assert any("retried_then_finished" in f for f in failures)
+        assert any("dropped_outage" in f for f in failures)
+
+    def test_retry_attainment_below_drop_only_fails(self):
+        failures, _ = check_regression.compare(
+            reliability_report(),
+            reliability_report(retry_attainment=0.70, drop_attainment=0.83),
+        )
+        assert any("fell below drop-only" in f for f in failures)
+
+    def test_conservation_break_fails(self):
+        failures, _ = check_regression.compare(
+            reliability_report(),
+            reliability_report(
+                stream_conserved=False,
+                stream_conservation_error="outcome counts sum to 49999",
+            ),
+        )
+        assert any("conservation broke" in f for f in failures)
+
+    def test_outcome_sum_mismatch_fails(self):
+        bad = reliability_report()
+        bad["stream_outcomes"] = dict(bad["stream_outcomes"], finished=29_999)
+        failures, _ = check_regression.compare(reliability_report(), bad)
+        assert any("sum to" in f for f in failures)
+
+    def test_attainment_drift_beyond_slack_fails(self):
+        drift = check_regression.RELIABILITY_DRIFT_SLACK + 0.01
+        failures, _ = check_regression.compare(
+            reliability_report(),
+            reliability_report(
+                retry_attainment=0.84 + drift, drop_attainment=0.83
+            ),
+        )
+        assert any("drifted" in f for f in failures)
+
+    def test_missing_keys_fail_instead_of_passing_vacuously(self):
+        broken = reliability_report()
+        for key in ("retry_completed", "retry_attainment", "stream_outcomes"):
+            broken.pop(key)
+        failures, _ = check_regression.compare(reliability_report(), broken)
+        assert failures
+
+    def test_wallclock_growth_warns_but_does_not_fail(self):
+        failures, warnings = check_regression.compare(
+            reliability_report(), reliability_report(elapsed_s=40.0)
+        )
+        assert failures == []
+        assert any("non-gating" in w for w in warnings)
+
+    def test_mode_mismatch_fails(self):
+        failures, _ = check_regression.compare(
+            reliability_report(), reliability_report(mode="full")
+        )
+        assert any("mode mismatch" in f for f in failures)
+
+    def test_kind_mismatch_fails(self):
+        failures, _ = check_regression.compare(reliability_report(), chaos_report())
+        assert any("kind mismatch" in f for f in failures)
+
+
 class TestMain:
     def test_healthy_exit_zero(self, tmp_path, capsys):
         base = write(tmp_path / "base.json", report())
@@ -287,6 +407,7 @@ class TestMain:
             "BENCH_prefill_reduced.json",
             "BENCH_estimator_saturation_reduced.json",
             "BENCH_chaos_recovery_reduced.json",
+            "BENCH_request_reliability_reduced.json",
         ],
     )
     def test_gates_against_the_committed_baseline(self, name):

@@ -14,6 +14,7 @@ import numpy as np
 import pytest
 
 from repro.core.types import SLOType
+from repro.faults import FaultEvent, FaultKind, FaultSchedule, RetryPolicy
 from repro.scenarios.library import DiurnalTrafficScenario
 from repro.scenarios.sweep import ScenarioSweep
 from repro.serving.live import (
@@ -198,6 +199,7 @@ class TestTelemetry:
             mean_queue_wait=0.12, completion_rate=0.94, estimated_rho=0.7,
             estimated_attainment=0.55, plan_changed=True, breaches=(breach,),
             per_tenant_attainment={"gold": 0.5},
+            outcome_counts={"finished": 14, "retried_then_finished": 2, "timed_out": 1, "shed": 3},
         )
         restored = WindowTelemetry.from_dict(json.loads(json.dumps(record.to_dict())))
         assert restored == record
@@ -251,6 +253,163 @@ class TestConfigAndEdgeCases:
         assert signature == plan_signature(small_plan)
         assert len(signature) == 8
         int(signature, 16)  # hex
+
+
+class TestInEngineFaults:
+    """Capacity faults inside a window are compiled into the engine run."""
+
+    RETRY = RetryPolicy(max_retries=3, backoff_base_s=0.3, jitter=0.1)
+
+    @pytest.fixture(scope="class")
+    def multi_system_factory(self, small_hetero_cluster, model_7b, conversation_workload):
+        """Systems over a four-replica llama-7b plan with uniform routing.
+
+        Two prefill and two decode replicas, so killing one prefill group
+        leaves a survivor for the retry path to land on; ``routing=None``
+        spreads traffic uniformly so the dying replica always holds work.
+        """
+        from repro.core.types import Phase
+        from repro.costmodel.reference import a100_reference_latency
+        from repro.scheduling.deployment import DeploymentPlan
+        from repro.scheduling.lower_level import LowerLevelSolver
+        from repro.scheduling.solution import UpperLevelSolution
+
+        a40 = [g.gpu_id for g in small_hetero_cluster.gpus_of_type("A40")]
+        ti = [g.gpu_id for g in small_hetero_cluster.gpus_of_type("3090Ti")]
+        solution = UpperLevelSolution.from_lists(
+            [
+                (a40[:2], Phase.PREFILL),
+                (a40[2:], Phase.PREFILL),
+                (ti[:2], Phase.DECODE),
+                (ti[2:], Phase.DECODE),
+            ]
+        )
+        slo = a100_reference_latency(model_7b, conversation_workload).slo_spec(8.0)
+        solver = LowerLevelSolver(
+            cluster=small_hetero_cluster,
+            model=model_7b,
+            workload=conversation_workload,
+            slo=slo,
+            request_rate=3.0,
+        )
+        solved = solver.solve(solution).plan
+        assert solved is not None
+        plan = DeploymentPlan(
+            groups=solved.groups,
+            routing=None,
+            model_name=solved.model_name,
+            kv_transport_bits=solved.kv_transport_bits,
+        )
+
+        def build():
+            system = ThunderServe(
+                small_hetero_cluster, model_7b, conversation_workload, 3.0, slo=slo
+            )
+            system.adopt_plan(plan, reason="in-engine fault test")
+            return system
+
+        return build
+
+    @pytest.fixture(scope="class")
+    def fault_trace(self, conversation_workload):
+        return generate_requests(
+            conversation_workload, request_rate=6.0, num_requests=80, seed=3
+        )
+
+    def _run(self, factory, trace, retry):
+        system = factory()
+        victims = system.require_plan().prefill_groups[0].gpu_ids
+        schedule = FaultSchedule.from_events(
+            [FaultEvent(time=6.0, kind=FaultKind.GPU_PREEMPTION, gpu_ids=tuple(victims))]
+        )
+        config = LiveServeConfig(
+            window_s=WINDOW_S,
+            reschedule_on_breach=False,
+            reschedule_on_shift=False,
+            faults=schedule,
+            retry_policy=retry,
+        )
+        report = LiveServer(system, config=config).run(trace, label="in-engine")
+        return system, report
+
+    def test_retry_recovers_attainment_drop_only_loses(
+        self, multi_system_factory, fault_trace
+    ):
+        _, retry_report = self._run(multi_system_factory, fault_trace, self.RETRY)
+        _, drop_report = self._run(
+            multi_system_factory, fault_trace, RetryPolicy.drop_only()
+        )
+        retry_stats = retry_report.fault_stats()
+        drop_stats = drop_report.fault_stats()
+        # The same seeded storm preempts work either way; only the retry
+        # policy decides whether that work comes back.
+        assert retry_stats["requests_retried_then_finished"] > 0
+        assert drop_stats["requests_retried_then_finished"] == 0
+        assert drop_stats["requests_dropped_outage"] > 0
+        retry_finished = (
+            retry_stats["requests_finished"]
+            + retry_stats["requests_retried_then_finished"]
+        )
+        drop_finished = (
+            drop_stats["requests_finished"]
+            + drop_stats["requests_retried_then_finished"]
+        )
+        assert retry_finished > drop_finished
+
+    def test_fault_stats_deterministic_replay(self, multi_system_factory, fault_trace):
+        _, first = self._run(multi_system_factory, fault_trace, self.RETRY)
+        _, second = self._run(multi_system_factory, fault_trace, self.RETRY)
+        assert first.fault_stats() == second.fault_stats()
+        assert first.windows == second.windows
+
+    def test_window_telemetry_and_ledger_consistent(
+        self, multi_system_factory, fault_trace
+    ):
+        system, report = self._run(multi_system_factory, fault_trace, self.RETRY)
+        # The fault window is flagged degraded and carries the in-engine note.
+        noted = [
+            w
+            for w in report.windows
+            if any(f.startswith("in-engine:") for f in w.faults)
+        ]
+        assert noted, "the mid-window fault must surface in window telemetry"
+        assert all(w.degraded for w in noted)
+        # Per-window outcome conservation: every admitted or shed request has
+        # exactly one outcome.
+        for window in report.windows:
+            assert sum(window.outcome_counts.values()) == (
+                window.num_requests + window.num_shed
+            )
+        # Run-level: the requests_* totals cover the whole trace.
+        stats = report.fault_stats()
+        total = sum(v for k, v in stats.items() if k.startswith("requests_"))
+        assert total == len(fault_trace)
+        # The coordinator's ledger agrees with the windows it actually saw:
+        # adopting the post-fault plan rebuilds the coordinator (like every
+        # other per-plan counter), so compare from the last plan change on.
+        from collections import Counter
+
+        start = max(
+            (
+                w.index
+                for w in report.windows
+                if w.plan_changed or w.replan_trigger in ("failure", "recovery")
+            ),
+            default=0,
+        )
+        expected = Counter()
+        for window in report.windows:
+            if window.index >= start:
+                expected.update(window.outcome_counts)
+        ledger = system.coordinator.outcome_totals
+        assert {k: v for k, v in ledger.items() if v} == {
+            k: int(v) for k, v in expected.items() if v
+        }
+        # outcome_counts survive the JSON round trip.
+        restored = [
+            WindowTelemetry.from_dict(d) for d in json.loads(json.dumps(report.to_dicts()))
+        ]
+        assert restored == report.windows
 
 
 class TestAdaptiveSweep:

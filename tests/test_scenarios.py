@@ -388,3 +388,36 @@ def test_request_at_failure_time_served_exactly_once(num_events):
     # The boundary request belongs to the *post*-failure window: it cannot have
     # started prefill before the failure instant.
     assert boundary_metrics[0].enqueue_time >= boundary
+
+
+def test_count_based_event_can_reach_total_loss():
+    """``num_gpus >= cluster size`` kills every GPU; nothing is clamped alive.
+
+    Regression test: the random-victim path used to draw
+    ``min(event.num_gpus, len(alive) - 1)`` victims, silently keeping one GPU
+    alive and making total capacity loss unreachable from count-based events.
+    A count asking for at least the whole cluster must now take it down —
+    every arrival after the event is a zero-attainment ``dropped_outage``.
+    """
+    from repro.core.types import RequestOutcome
+
+    cluster, model, plan = _tiny_serving_context()
+    trace = _boundary_trace([1.0, 2.0, 6.5, 7.0])
+    system = ThunderServe(cluster, model, CONVERSATION_WORKLOAD, request_rate=1.0)
+    system.adopt_plan(plan)
+    events = [FailureEvent(time=6.0, num_gpus=cluster.num_gpus + 5)]
+    sweep = ScenarioSweep([get_scenario("diurnal", duration=SMOKE_DURATION)], seed=0)
+    result, overhead_s, num_outages = sweep._serve_with_failures(
+        system, trace, events, label="total-loss"
+    )
+    assert num_outages == 1
+    assert overhead_s == 0.0, "nothing survived, so no replan was priced"
+    assert result.num_requests == 4
+    dropped = sorted(
+        m.request.request_id
+        for m in result.metrics
+        if m.outcome is RequestOutcome.DROPPED_OUTAGE
+    )
+    assert dropped == [2, 3], "both post-outage arrivals are dropped"
+    finished = sorted(m.request.request_id for m in result.metrics if m.finished)
+    assert finished == [0, 1], "pre-outage arrivals still complete"
